@@ -1,0 +1,111 @@
+package chainsplit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestQueryArgs(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+sg(X, Y) :- sibling(X, Y).
+parent(ann, alice). parent(bob, ben).
+sibling(alice, ben).
+`)
+	res, err := db.QueryArgs("?- sg(?, Y).", []Term{Sym("ann")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["Y"].String() != "bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Lists and multiple placeholders.
+	db2 := Open()
+	db2.MustExec("append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	res, err = db2.QueryArgs("?- append(?, ?, W).", []Term{IntList(1, 2), IntList(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0]["W"].String() != "[1, 2, 3]" {
+		t.Errorf("W = %v", res.Rows[0]["W"])
+	}
+	// Arity mismatches.
+	if _, err := db.QueryArgs("?- sg(?, ?).", []Term{Sym("ann")}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if _, err := db.QueryArgs("?- sg(?, Y).", []Term{Sym("a"), Sym("b")}); err == nil {
+		t.Error("extra argument accepted")
+	}
+	// '?' inside a string literal is not a placeholder.
+	db3 := Open()
+	db3.MustExec(`msg("what?").`)
+	res, err = db3.QueryArgs(`?- msg(?).`, []Term{Str("what?")})
+	if err != nil || len(res.Rows) != 1 {
+		t.Errorf("string placeholder: %v %v", res, err)
+	}
+}
+
+func TestErrNotFinitelyEvaluableExported(t *testing.T) {
+	db := Open()
+	db.MustExec("append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	_, err := db.Query("?- append(U, [3], W).")
+	if !errors.Is(err, ErrNotFinitelyEvaluable) {
+		t.Errorf("errors.Is failed: %v", err)
+	}
+}
+
+func TestRegisterBuiltin(t *testing.T) {
+	// upper/2: symbol → upper-cased symbol, finite when arg 1 is bound.
+	err := RegisterBuiltin("upper", 2, []string{"bf"}, func(s Subst, args []Term) ([]Subst, error) {
+		in := s.Resolve(args[0])
+		if !in.Ground() {
+			return nil, ErrBuiltinInsufficient
+		}
+		up := Sym(strings.ToUpper(in.String()))
+		c := s.Clone()
+		if !Unify(c, args[1], up) {
+			return nil, nil
+		}
+		return []Subst{c}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	db.MustExec(`
+shout([], []).
+shout([X|Xs], [Y|Ys]) :- upper(X, Y), shout(Xs, Ys).
+`)
+	res, err := db.Query("?- shout([ab, cd], Ys).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["Ys"].String() != "[AB, CD]" {
+		t.Errorf("Ys = %v", res.Rows)
+	}
+	// The reverse mode is undeclared → statically rejected.
+	if _, err := db.Query("?- shout(Xs, [some, caps])."); err == nil {
+		t.Error("undeclared mode accepted")
+	}
+	// Core builtins cannot be overridden; bad registrations rejected.
+	if err := RegisterBuiltin("cons", 3, []string{"bbf"}, nil); err == nil {
+		t.Error("nil eval accepted")
+	}
+	if err := RegisterBuiltin("cons", 3, []string{"bbf"}, func(Subst, []Term) ([]Subst, error) { return nil, nil }); err == nil {
+		t.Error("core override accepted")
+	}
+	if err := RegisterBuiltin("bad", 2, []string{"b"}, func(Subst, []Term) ([]Subst, error) { return nil, nil }); err == nil {
+		t.Error("mode/arity mismatch accepted")
+	}
+	if err := RegisterBuiltin("bad", 2, []string{"bx"}, func(Subst, []Term) ([]Subst, error) { return nil, nil }); err == nil {
+		t.Error("bad mode characters accepted")
+	}
+}
+
+func TestStrHelper(t *testing.T) {
+	if Str("a\"b").String() != `"a\"b"` {
+		t.Errorf("Str = %q", Str("a\"b").String())
+	}
+}

@@ -1,0 +1,409 @@
+// Package chainsplit is an embeddable deductive database implementing
+// chain-split evaluation of recursive queries, a reproduction of
+//
+//	Jiawei Han, "Chain-Split Evaluation in Deductive Databases",
+//	Proc. 8th Int. Conf. on Data Engineering (ICDE), 1992.
+//
+// Programs are Horn-clause rules in a Datalog dialect with lists,
+// integers and evaluable predicates. Recursions are compiled into
+// chain forms; queries are evaluated by the method the paper
+// prescribes for their class:
+//
+//   - function-free recursions: magic sets with the chain-split
+//     binding propagation rule (Algorithm 3.1), evaluated semi-naively,
+//   - compiled functional chains (append, travel): buffered
+//     chain-split evaluation (Algorithm 3.2), with termination
+//     constraints pushed into the iteration (Algorithm 3.3),
+//   - nested and nonlinear functional recursions (isort, qsort):
+//     tabled top-down evaluation with chain-split subgoal scheduling
+//     (Section 4).
+//
+// Basic use:
+//
+//	db := chainsplit.Open()
+//	err := db.Exec(`
+//	    append([], L, L).
+//	    append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+//	`)
+//	res, err := db.Query("?- append([1,2], [3], W).")
+//	for _, row := range res.Rows { fmt.Println(row["W"]) }
+package chainsplit
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"chainsplit/internal/builtin"
+	"chainsplit/internal/core"
+	"chainsplit/internal/cost"
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/term"
+)
+
+// Term is a value of the term algebra: symbolic constants, integers,
+// strings, lists and compound terms. Its String method renders the
+// surface syntax.
+type Term = term.Term
+
+// Strategy selects an evaluation method; see the Strategy* constants.
+type Strategy = core.Strategy
+
+// The available evaluation strategies.
+const (
+	// StrategyAuto lets the planner choose per the paper's
+	// architecture (default).
+	StrategyAuto = core.StrategyAuto
+	// StrategyMagic forces chain-split magic sets (Algorithm 3.1).
+	StrategyMagic = core.StrategyMagic
+	// StrategyMagicFollow forces classic magic sets (the baseline).
+	StrategyMagicFollow = core.StrategyMagicFollow
+	// StrategyMagicSplit forces always-split magic sets (ablation).
+	StrategyMagicSplit = core.StrategyMagicSplit
+	// StrategyBuffered forces buffered chain-split evaluation
+	// (Algorithm 3.2).
+	StrategyBuffered = core.StrategyBuffered
+	// StrategyTopDown forces tabled top-down chain-split scheduling.
+	StrategyTopDown = core.StrategyTopDown
+	// StrategySeminaive forces plain bottom-up evaluation.
+	StrategySeminaive = core.StrategySeminaive
+)
+
+// Metrics reports evaluation effort; which fields are populated
+// depends on the strategy that ran.
+type Metrics = core.Metrics
+
+// Option customizes one Query or Explain call.
+type Option func(*core.Options)
+
+// WithStrategy overrides the planner's strategy choice.
+func WithStrategy(s Strategy) Option {
+	return func(o *core.Options) { o.Strategy = s }
+}
+
+// WithThresholds sets the chain-split and chain-following thresholds
+// of Algorithm 3.1.
+func WithThresholds(splitAbove, followBelow float64) Option {
+	return func(o *core.Options) {
+		o.Thresholds = cost.Thresholds{SplitAbove: splitAbove, FollowBelow: followBelow}
+	}
+}
+
+// WithBudgets bounds evaluation effort: maxTuples bounds derived
+// tuples (bottom-up), maxSteps bounds resolution steps (top-down),
+// maxAnswers bounds buffered-evaluation answers. Zero keeps a
+// default.
+func WithBudgets(maxTuples, maxSteps, maxAnswers int) Option {
+	return func(o *core.Options) {
+		o.MaxTuples = maxTuples
+		o.MaxSteps = maxSteps
+		o.MaxAnswers = maxAnswers
+	}
+}
+
+// WithTrace records per-iteration (bottom-up) or per-level (buffered)
+// profiles in the result metrics.
+func WithTrace() Option {
+	return func(o *core.Options) { o.TraceDeltas = true }
+}
+
+// WithLimit truncates the answer set to the first n answers; n = 1
+// turns the query into an existence check.
+func WithLimit(n int) Option {
+	return func(o *core.Options) { o.Limit = n }
+}
+
+// Row is one query answer projected onto the query's variables.
+type Row map[string]Term
+
+// Result is a completed query.
+type Result struct {
+	// Vars lists the query's variable names in order of appearance.
+	Vars []string
+	// Rows holds one map per answer.
+	Rows []Row
+	// Tuples holds the raw answer vectors (the goal's argument
+	// values), parallel to Rows.
+	Tuples [][]Term
+	// Plan describes the evaluation plan that ran.
+	Plan string
+	// Strategy is the strategy that ran.
+	Strategy Strategy
+	// Metrics reports evaluation effort.
+	Metrics Metrics
+	// Duration is the wall-clock evaluation time.
+	Duration time.Duration
+}
+
+// DB is a deductive database: an intensional program plus extensional
+// facts. All methods are safe for concurrent use (operations are
+// serialized internally — evaluation engines share mutable analysis
+// and index state, so true read parallelism would require per-query
+// snapshots).
+type DB struct {
+	mu    sync.Mutex
+	inner *core.DB
+}
+
+// Open returns an empty database.
+func Open() *DB { return &DB{inner: core.NewDB()} }
+
+// Exec parses and loads rules, facts and pragmas. Queries (?- …) in
+// the source are rejected — use Query for those.
+func (db *DB) Exec(src string) error {
+	res, err := lang.Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(res.Queries) > 0 {
+		return fmt.Errorf("chainsplit: Exec source contains a query (%s); use Query", res.Queries[0])
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.inner.Load(res.Program)
+	return nil
+}
+
+// LoadFacts bulk-loads ground tuples into an extensional relation
+// without going through the parser — the fast path for large EDBs.
+func (db *DB) LoadFacts(pred string, tuples [][]Term) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	conv := make([][]term.Term, len(tuples))
+	for i, t := range tuples {
+		conv[i] = t
+	}
+	return db.inner.LoadTuples(pred, conv)
+}
+
+// ExecFile loads a program from a file.
+func (db *DB) ExecFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Exec(string(data)); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// MustExec is Exec that panics on error, for tests and examples.
+func (db *DB) MustExec(src string) {
+	if err := db.Exec(src); err != nil {
+		panic(err)
+	}
+}
+
+// Query parses and evaluates a query, e.g. "?- sg(ann, Y)." (the ?-
+// and trailing period are optional). Conjunctive queries with builtin
+// constraints are supported: "?- travel(L, yvr, DT, A, AT, F), F =< 600."
+func (db *DB) Query(q string, options ...Option) (*Result, error) {
+	goals, opts, err := db.prepare(q, options)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := db.inner.Query(goals, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Vars:     res.Vars,
+		Tuples:   res.Answers,
+		Metrics:  res.Metrics,
+		Duration: res.Metrics.Duration,
+	}
+	if res.Plan != nil {
+		out.Plan = res.Plan.String()
+		out.Strategy = res.Plan.Strategy
+	}
+	for _, b := range res.Bindings {
+		out.Rows = append(out.Rows, Row(b))
+	}
+	return out, nil
+}
+
+// Explain plans a query without executing it and renders the plan.
+func (db *DB) Explain(q string, options ...Option) (string, error) {
+	goals, opts, err := db.prepare(q, options)
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	plan, err := db.inner.Explain(goals, opts)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+func (db *DB) prepare(q string, options []Option) ([]program.Atom, core.Options, error) {
+	parsed, err := lang.ParseQuery(q)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	var opts core.Options
+	for _, o := range options {
+		o(&opts)
+	}
+	return parsed.Goals, opts, nil
+}
+
+// Dump renders the loaded program (as written, before rectification).
+func (db *DB) Dump() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inner.Source().String()
+}
+
+// SaveFile writes the loaded program (rules, facts and pragmas, as
+// written) to a file in the surface syntax; ExecFile restores it.
+func (db *DB) SaveFile(path string) error {
+	return os.WriteFile(path, []byte(db.Dump()), 0o644)
+}
+
+// CompileInfo renders the compiled chain form of a predicate, given as
+// "pred/arity" — the recursion class, chain generating paths and exit
+// rules the planner works with.
+func (db *DB) CompileInfo(predArity string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inner.CompileInfo(predArity)
+}
+
+// Prelude is a small standard library of list predicates, ready to
+// Exec: member/2, select/3, perm/2, reverse/2, nth/3 and range/2. All
+// are written so the finiteness analysis can run them in every useful
+// mode (e.g. perm works both ways).
+const Prelude = `
+member(X, [X|Xs]).
+member(X, [Y|Ys]) :- member(X, Ys).
+
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+
+perm([], []).
+perm(Xs, [Z|Zs]) :- select(Z, Xs, Ys), perm(Ys, Zs).
+
+reverse(Xs, Ys) :- rev_acc(Xs, [], Ys).
+rev_acc([], Acc, Acc).
+rev_acc([X|Xs], Acc, Ys) :- rev_acc(Xs, [X|Acc], Ys).
+
+nth(0, [X|Xs], X).
+nth(N, [Y|Ys], X) :- N > 0, minus(N, 1, M), nth(M, Ys, X).
+
+range(0, []).
+range(N, [N|B]) :- N > 0, minus(N, 1, M), range(M, B).
+`
+
+// ErrNotFinitelyEvaluable matches (errors.Is) errors from queries the
+// static analysis proves to have infinitely many answers.
+var ErrNotFinitelyEvaluable = core.ErrNotFinitelyEvaluable
+
+// Subst is the variable-binding environment passed to user builtins.
+type Subst = term.Subst
+
+// RegisterBuiltin installs a user-defined evaluable predicate,
+// available to every DB. finiteModes lists the binding patterns
+// (strings over 'b'/'f', one character per argument) under which the
+// predicate has finitely many solutions — the finiteness analysis uses
+// them to schedule (and, where necessary, chain-split around) calls.
+// eval receives the call's argument terms and the current bindings and
+// returns one extended binding per solution. Core builtins cannot be
+// overridden.
+//
+//	chainsplit.RegisterBuiltin("upper", 2, []string{"bf"},
+//	    func(s chainsplit.Subst, args []chainsplit.Term) ([]chainsplit.Subst, error) { … })
+func RegisterBuiltin(name string, arity int, finiteModes []string, eval func(Subst, []Term) ([]Subst, error)) error {
+	return builtin.Register(&builtin.Builtin{
+		Name:        name,
+		Arity:       arity,
+		FiniteModes: finiteModes,
+		Eval:        eval,
+	})
+}
+
+// ErrBuiltinInsufficient should be returned by user builtins invoked
+// with a binding pattern they cannot evaluate finitely.
+var ErrBuiltinInsufficient = builtin.ErrInsufficient
+
+// QueryArgs is Query with '?' placeholders substituted positionally by
+// the given terms, e.g.
+//
+//	db.QueryArgs("?- sg(?, Y).", chainsplit.Sym("ann"))
+func (db *DB) QueryArgs(q string, args []Term, options ...Option) (*Result, error) {
+	filled, err := fillPlaceholders(q, args)
+	if err != nil {
+		return nil, err
+	}
+	return db.Query(filled, options...)
+}
+
+// fillPlaceholders replaces each '?' outside strings/comments with the
+// rendered form of the corresponding term.
+func fillPlaceholders(q string, args []Term) (string, error) {
+	var b []byte
+	argIdx := 0
+	inString := false
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		switch {
+		case inString:
+			b = append(b, c)
+			if c == '\\' && i+1 < len(q) {
+				i++
+				b = append(b, q[i])
+			} else if c == '"' {
+				inString = false
+			}
+		case c == '"':
+			inString = true
+			b = append(b, c)
+		case c == '?' && i+1 < len(q) && q[i+1] == '-':
+			// The ?- query marker is not a placeholder.
+			b = append(b, '?', '-')
+			i++
+		case c == '?':
+			if argIdx >= len(args) {
+				return "", fmt.Errorf("chainsplit: placeholder %d has no argument", argIdx+1)
+			}
+			b = append(b, args[argIdx].String()...)
+			argIdx++
+		default:
+			b = append(b, c)
+		}
+	}
+	if argIdx != len(args) {
+		return "", fmt.Errorf("chainsplit: %d placeholders filled but %d arguments given", argIdx, len(args))
+	}
+	return string(b), nil
+}
+
+// ParseTerm parses a single term, e.g. "[5,7,1]" — useful for building
+// queries programmatically.
+func ParseTerm(src string) (Term, error) { return lang.ParseTerm(src) }
+
+// List builds a list term from elements.
+func List(elems ...Term) Term { return term.List(elems...) }
+
+// IntList builds a list of integer constants.
+func IntList(vs ...int64) Term { return term.IntList(vs...) }
+
+// Int returns an integer constant term.
+func Int(v int64) Term { return term.NewInt(v) }
+
+// Sym returns a symbolic constant term.
+func Sym(name string) Term { return term.NewSym(name) }
+
+// Str returns a string constant term.
+func Str(v string) Term { return term.NewStr(v) }
+
+// Unify attempts to unify two terms under s (extending it in place),
+// reporting success — the helper user builtins bind their outputs
+// with. Clone s first when backtracking matters.
+func Unify(s Subst, a, b Term) bool { return term.Unify(s, a, b) }

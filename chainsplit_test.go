@@ -1,0 +1,164 @@
+package chainsplit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db := Open()
+	if err := db.Exec(`
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("?- append([1,2], [3], W).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if got := res.Rows[0]["W"].String(); got != "[1, 2, 3]" {
+		t.Errorf("W = %q", got)
+	}
+	if res.Strategy != StrategyBuffered {
+		t.Errorf("strategy = %v", res.Strategy)
+	}
+	if res.Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+}
+
+func TestExecRejectsQueries(t *testing.T) {
+	db := Open()
+	err := db.Exec("p(a).\n?- p(X).")
+	if err == nil || !strings.Contains(err.Error(), "use Query") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExecSyntaxError(t *testing.T) {
+	db := Open()
+	if err := db.Exec("p(a"); err == nil {
+		t.Error("expected syntax error")
+	}
+}
+
+func TestExecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.dl")
+	if err := os.WriteFile(path, []byte("edge(a,b).\nedge(b,c).\nreach(X,Y) :- edge(X,Y).\nreach(X,Y) :- edge(X,Z), reach(Z,Y).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	if err := db.ExecFile(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("reach(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if err := db.ExecFile(filepath.Join(dir, "missing.dl")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+sg(X, Y) :- sibling(X, Y).
+parent(c1, p1). parent(c2, p2). parent(p1, g1). parent(p2, g1).
+sibling(p1, p2).
+`)
+	res, err := db.Query("?- sg(c1, Y).",
+		WithStrategy(StrategyMagicFollow),
+		WithThresholds(3, 1.1),
+		WithBudgets(100000, 100000, 100000),
+		WithTrace(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyMagicFollow {
+		t.Errorf("strategy = %v", res.Strategy)
+	}
+	if len(res.Metrics.Deltas) == 0 {
+		t.Error("trace not recorded")
+	}
+}
+
+func TestExplainAPI(t *testing.T) {
+	db := Open()
+	db.MustExec("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).\ne(a,b).")
+	plan, err := db.Explain("?- tc(a, Y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "magic") || !strings.Contains(plan, "bf") {
+		t.Errorf("plan = %q", plan)
+	}
+}
+
+func TestTermHelpers(t *testing.T) {
+	l := IntList(5, 7, 1)
+	if l.String() != "[5, 7, 1]" {
+		t.Errorf("IntList = %q", l.String())
+	}
+	if List(Int(1), Sym("a")).String() != "[1, a]" {
+		t.Error("List/Int/Sym helpers wrong")
+	}
+	tm, err := ParseTerm("[5, 7 | T]")
+	if err != nil || !strings.Contains(tm.String(), "|") {
+		t.Errorf("ParseTerm = %v %v", tm, err)
+	}
+}
+
+func TestPaperHeadlineExamples(t *testing.T) {
+	// The paper's two Section 4 traces, end to end through the public
+	// API.
+	db := Open()
+	db.MustExec(`
+isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+isort([], []).
+insert(X, [], [X]).
+insert(X, [Y|Ys], [Y|Zs]) :- X > Y, insert(X, Ys, Zs).
+insert(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+qsort([X|Xs], Ys) :-
+    partition(Xs, X, Littles, Bigs),
+    qsort(Littles, Ls), qsort(Bigs, Bs),
+    append(Ls, [X|Bs], Ys).
+qsort([], []).
+partition([X|Xs], Y, [X|Ls], Bs) :- X =< Y, partition(Xs, Y, Ls, Bs).
+partition([X|Xs], Y, Ls, [X|Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+partition([], Y, [], []).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`)
+	res, err := db.Query("?- isort([5,7,1], Ys).")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0]["Ys"].String() != "[1, 5, 7]" {
+		t.Errorf("isort: %v %v", res, err)
+	}
+	res, err = db.Query("?- qsort([4,9,5], Ys).")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0]["Ys"].String() != "[4, 5, 9]" {
+		t.Errorf("qsort: %v %v", res, err)
+	}
+}
+
+func TestQueryErrorSurface(t *testing.T) {
+	db := Open()
+	db.MustExec("append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	if _, err := db.Query("?- append(U, [3], W)."); err == nil {
+		t.Error("infinitely evaluable query accepted")
+	}
+	if _, err := db.Query("?- append(."); err == nil {
+		t.Error("syntax error accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Command benchtab regenerates the reproduction's evaluation tables
+// and figures (see DESIGN.md and EXPERIMENTS.md for the mapping to the
+// paper).
+//
+// Usage:
+//
+//	benchtab              # run every experiment
+//	benchtab -exp T2      # run one experiment
+//	benchtab -list        # list experiments
+//	benchtab -quick       # smaller workloads (sanity pass)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chainsplit/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	quick := flag.Bool("quick", false, "run with reduced workload sizes")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick}
+	if *exp != "" {
+		e, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(1)
+		}
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Command chainsplitctl is the interactive front-end to the deductive
+// database: it loads programs and evaluates or explains queries.
+//
+// Usage:
+//
+//	chainsplitctl prog.dl                      # load + run embedded ?- queries
+//	chainsplitctl -q '?- sg(ann, Y).' prog.dl  # one query
+//	chainsplitctl -explain -q '…' prog.dl      # print the plan only
+//	chainsplitctl -i prog.dl                   # REPL on stdin
+//	chainsplitctl -strategy magic-follow …     # force a strategy
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"chainsplit"
+)
+
+var strategies = map[string]chainsplit.Strategy{
+	"auto":         chainsplit.StrategyAuto,
+	"magic":        chainsplit.StrategyMagic,
+	"magic-follow": chainsplit.StrategyMagicFollow,
+	"magic-split":  chainsplit.StrategyMagicSplit,
+	"buffered":     chainsplit.StrategyBuffered,
+	"topdown":      chainsplit.StrategyTopDown,
+	"seminaive":    chainsplit.StrategySeminaive,
+}
+
+func main() {
+	query := flag.String("q", "", "query to evaluate (default: queries embedded in the program)")
+	explain := flag.Bool("explain", false, "print the evaluation plan instead of answers")
+	interactive := flag.Bool("i", false, "read queries from stdin after loading")
+	strategyName := flag.String("strategy", "auto", "evaluation strategy: auto|magic|magic-follow|magic-split|buffered|topdown|seminaive")
+	metrics := flag.Bool("metrics", false, "print evaluation metrics after answers")
+	trace := flag.Bool("trace", false, "print the buffered-evaluation event trace after answers")
+	dump := flag.Bool("dump", false, "print the loaded program and exit")
+	compile := flag.String("compile", "", "print the compiled chain form of pred/arity and exit")
+	facts := flag.String("facts", "", "bulk-load tab-separated facts: pred=path.tsv (may repeat comma-separated)")
+	flag.Parse()
+
+	strat, ok := strategies[*strategyName]
+	if !ok {
+		fail("unknown strategy %q", *strategyName)
+	}
+
+	db := chainsplit.Open()
+	var embedded []string
+	for _, path := range flag.Args() {
+		var data []byte
+		var err error
+		if path == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		// Split out embedded queries so Exec accepts the rest.
+		prog, queries := splitQueries(string(data))
+		if err := db.Exec(prog); err != nil {
+			fail("%s: %v", path, err)
+		}
+		embedded = append(embedded, queries...)
+	}
+
+	if *facts != "" {
+		for _, spec := range strings.Split(*facts, ",") {
+			if err := loadTSV(db, spec); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+
+	if *dump {
+		fmt.Print(db.Dump())
+		return
+	}
+	if *compile != "" {
+		info, err := db.CompileInfo(*compile)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(info)
+		return
+	}
+
+	runOne := func(q string) {
+		opts := []chainsplit.Option{chainsplit.WithStrategy(strat)}
+		if *trace {
+			opts = append(opts, chainsplit.WithTrace())
+		}
+		if *explain {
+			plan, err := db.Explain(q, opts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			fmt.Print(plan)
+			return
+		}
+		res, err := db.Query(q, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		printResult(q, res, *metrics, *trace)
+	}
+
+	switch {
+	case *query != "":
+		runOne(*query)
+	case *interactive:
+		fmt.Println("chainsplitctl: enter queries (empty line to quit)")
+		sc := bufio.NewScanner(os.Stdin)
+		for {
+			fmt.Print("?- ")
+			if !sc.Scan() {
+				break
+			}
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				break
+			}
+			runOne(line)
+		}
+	case len(embedded) > 0:
+		for _, q := range embedded {
+			fmt.Printf("%s\n", q)
+			runOne(q)
+			fmt.Println()
+		}
+	default:
+		fail("no query: pass -q, -i, or a program with embedded ?- queries")
+	}
+}
+
+// loadTSV bulk-loads a "pred=path.tsv" spec: one fact per line, one
+// term per tab-separated column (terms in surface syntax: symbols,
+// integers, strings, lists).
+func loadTSV(db *chainsplit.DB, spec string) error {
+	eq := strings.IndexByte(spec, '=')
+	if eq <= 0 {
+		return fmt.Errorf("bad -facts spec %q (want pred=path.tsv)", spec)
+	}
+	pred, path := spec[:eq], spec[eq+1:]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tuples [][]chainsplit.Term
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		row := make([]chainsplit.Term, len(cols))
+		for i, col := range cols {
+			t, err := chainsplit.ParseTerm(strings.TrimSpace(col))
+			if err != nil {
+				return fmt.Errorf("%s:%d: column %d: %v", path, lineNo+1, i+1, err)
+			}
+			row[i] = t
+		}
+		tuples = append(tuples, row)
+	}
+	return db.LoadFacts(pred, tuples)
+}
+
+// splitQueries separates "?- …." clauses from the rest of the source.
+func splitQueries(src string) (prog string, queries []string) {
+	var progLines []string
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "?-") {
+			queries = append(queries, trimmed)
+			continue
+		}
+		progLines = append(progLines, line)
+	}
+	return strings.Join(progLines, "\n"), queries
+}
+
+func printResult(q string, res *chainsplit.Result, metrics, trace bool) {
+	if len(res.Rows) == 0 {
+		fmt.Println("no.")
+	} else if len(res.Vars) == 0 {
+		fmt.Println("yes.")
+	} else {
+		for _, row := range res.Rows {
+			var parts []string
+			for _, v := range res.Vars {
+				parts = append(parts, fmt.Sprintf("%s = %s", v, row[v]))
+			}
+			fmt.Println(strings.Join(parts, ", "))
+		}
+		fmt.Printf("(%d answers, %s, %v)\n", len(res.Rows), res.Strategy, res.Duration)
+	}
+	if metrics {
+		m := res.Metrics
+		fmt.Printf("metrics: derived=%d magic=%d contexts=%d edges=%d pruned=%d steps=%d\n",
+			m.DerivedTuples, m.MagicTuples, m.Contexts, m.Edges, m.Pruned, m.Steps)
+	}
+	if trace {
+		for _, ev := range res.Metrics.Events {
+			fmt.Println("  " + ev)
+		}
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "chainsplitctl: "+format+"\n", args...)
+	os.Exit(1)
+}

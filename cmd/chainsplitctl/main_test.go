@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chainsplit"
+)
+
+func TestSplitQueries(t *testing.T) {
+	src := `p(a).
+?- p(X).
+q(b) :- p(b).
+  ?- q(Y), Y = b.
+% comment`
+	prog, queries := splitQueries(src)
+	if len(queries) != 2 {
+		t.Fatalf("queries = %v", queries)
+	}
+	if queries[0] != "?- p(X)." || queries[1] != "?- q(Y), Y = b." {
+		t.Errorf("queries = %v", queries)
+	}
+	if strings.Contains(prog, "?-") {
+		t.Errorf("program still contains queries:\n%s", prog)
+	}
+	if !strings.Contains(prog, "p(a).") || !strings.Contains(prog, "q(b)") {
+		t.Errorf("program lost clauses:\n%s", prog)
+	}
+}
+
+func TestSplitQueriesNone(t *testing.T) {
+	prog, queries := splitQueries("p(a).\nq(b).")
+	if len(queries) != 0 {
+		t.Errorf("queries = %v", queries)
+	}
+	if !strings.Contains(prog, "p(a).") {
+		t.Errorf("program = %q", prog)
+	}
+}
+
+func TestLoadTSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.tsv")
+	content := "a\tb\n% comment\n\nb\tc\n1\t[2, 3]\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := chainsplit.Open()
+	if err := loadTSV(db, "edge="+path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("?- edge(X, Y).")
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("rows = %v err = %v", res, err)
+	}
+	// Bad specs.
+	if err := loadTSV(db, "nopath"); err == nil {
+		t.Error("spec without '=' accepted")
+	}
+	if err := loadTSV(db, "edge="+filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.tsv")
+	os.WriteFile(bad, []byte("a\t((\n"), 0o644)
+	if err := loadTSV(db, "e2="+bad); err == nil {
+		t.Error("unparseable term accepted")
+	}
+}
+
+func TestStrategyTableComplete(t *testing.T) {
+	for _, name := range []string{"auto", "magic", "magic-follow", "magic-split", "buffered", "topdown", "seminaive"} {
+		if _, ok := strategies[name]; !ok {
+			t.Errorf("strategy %q missing from CLI table", name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package chainsplit_test
+
+import (
+	"fmt"
+
+	"chainsplit"
+)
+
+// The basic flow: load rules, query, read rows.
+func Example() {
+	db := chainsplit.Open()
+	db.MustExec(`
+		append([], L, L).
+		append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+	`)
+	res, _ := db.Query("?- append([1,2], [3], W).")
+	fmt.Println(res.Rows[0]["W"])
+	// Output: [1, 2, 3]
+}
+
+// Function-free recursion with a bound argument is evaluated by
+// chain-split magic sets.
+func ExampleDB_Query_recursion() {
+	db := chainsplit.Open()
+	db.MustExec(`
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- par(X, Z), anc(Z, Y).
+		par(ann, bea). par(bea, cid).
+	`)
+	res, _ := db.Query("?- anc(ann, Y).")
+	for _, row := range res.Rows {
+		fmt.Println(row["Y"])
+	}
+	// Output:
+	// bea
+	// cid
+}
+
+// Side constraints ride along with the goal; on functional chains an
+// upper bound on a telescoping sum is pushed into the evaluation
+// (Algorithm 3.3).
+func ExampleDB_Query_constraints() {
+	db := chainsplit.Open()
+	db.MustExec(`
+		val(1). val(2). val(3). val(4).
+	`)
+	res, _ := db.Query("?- val(X), X =< 2.")
+	fmt.Println(len(res.Rows))
+	// Output: 2
+}
+
+// Explain shows the compiled chain form and where it was split.
+func ExampleDB_Explain() {
+	db := chainsplit.Open()
+	db.MustExec(`
+		append([], L, L).
+		append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+	`)
+	plan, _ := db.Explain("?- append([1], [2], W).")
+	fmt.Println(plan)
+	// Output:
+	// goal:      append([1], [2], W) (adornment bbf)
+	// class:     linear, 1-chain
+	// strategy:  buffered-chain-split
+	// split:     eval {cons(X, L1, _F1)} ⊳ rec^bbf ⊳ delayed {cons(X, L3, _F2)} [mandatory (finiteness)]
+}
+
+// The Prelude supplies the usual list predicates.
+func ExamplePrelude() {
+	db := chainsplit.Open()
+	db.MustExec(chainsplit.Prelude)
+	res, _ := db.Query("?- reverse([1,2,3], R).")
+	fmt.Println(res.Rows[0]["R"])
+	// Output: [3, 2, 1]
+}
+
+// Queries the analysis proves infinitely evaluable are rejected
+// statically rather than run forever.
+func ExampleDB_Query_notFinitelyEvaluable() {
+	db := chainsplit.Open()
+	db.MustExec(`
+		append([], L, L).
+		append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+	`)
+	_, err := db.Query("?- append(U, [3], W).")
+	fmt.Println(err)
+	// Output: query is not finitely evaluable: append/3 under adornment fbf (append/3^fbf is infinitely evaluable: rule "append(_F1, L2, _F2) :- cons(X, L1, _F1), cons(X, L3, _F2), append(L1, L2, L3).": cons(X, L1, _F1) is not finitely evaluable in any order; cons(X, L3, _F2) is not finitely evaluable in any order; append(L1, L2, L3) is not finitely evaluable in any order)
+}

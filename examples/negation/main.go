@@ -1,0 +1,67 @@
+// negation — stratified negation-as-failure composed with chain-split
+// magic sets: "which pairs of airports have NO itinerary between
+// them?" The negated reach stratum is fully materialized first; the
+// consumer is then magic-rewritten against it (the stratum-wise
+// construction).
+//
+//	go run ./examples/negation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chainsplit"
+)
+
+const prog = `
+flight(yvr, yyc). flight(yyc, yul). flight(yul, yhz).
+flight(yyz, yul). flight(yvr, yyz).
+airport(yvr). airport(yyc). airport(yul). airport(yhz). airport(yyz).
+airport(ygk).  % no flights at all
+
+reach(X, Y) :- flight(X, Y).
+reach(X, Y) :- flight(X, Z), reach(Z, Y).
+
+% a pair is isolated when no route connects it, in either direction
+isolated(X, Y) :- airport(X), airport(Y), X \= Y,
+                  \+ reach(X, Y), \+ reach(Y, X).
+`
+
+func main() {
+	db := chainsplit.Open()
+	if err := db.Exec(prog); err != nil {
+		log.Fatal(err)
+	}
+
+	plan, err := db.Explain("?- isolated(yvr, Y).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:")
+	fmt.Println(plan)
+
+	res, err := db.Query("?- isolated(yvr, Y).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("airports unreachable from (and to) yvr:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s\n", row["Y"])
+	}
+	fmt.Printf("(%v, %v)\n\n", res.Strategy, res.Duration)
+
+	// Recursion THROUGH negation has no stratified model and is
+	// rejected outright.
+	db2 := chainsplit.Open()
+	err = db2.Exec(`
+win(X) :- move(X, Y), \+ win(Y).
+move(a, b).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db2.Query("?- win(a)."); err != nil {
+		fmt.Printf("win/1 (recursion through negation) rejected as expected:\n  %v\n", err)
+	}
+}

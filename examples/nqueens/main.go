@@ -1,0 +1,89 @@
+// nqueens — the classic constraint search, one of the four programs
+// the paper reports the LogicBase prototype being tested on ("append,
+// travel, isort, nqueens"). Four recursions cooperate, each with its
+// own chain-split: range (delayed cons), perm/select (delayed cons),
+// and safe/noattack (pure test, evaluated with everything bound).
+//
+//	go run ./examples/nqueens [n]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"chainsplit"
+)
+
+const prog = `
+range(0, []).
+range(N, [N|B]) :- N > 0, minus(N, 1, M), range(M, B).
+
+select(X, [X|Xs], Xs).
+select(X, [Y|Ys], [Y|Zs]) :- select(X, Ys, Zs).
+
+perm([], []).
+perm(Xs, [Z|Zs]) :- select(Z, Xs, Ys), perm(Ys, Zs).
+
+noattack(Q, [], D).
+noattack(Q, [Q1|Qs], D) :-
+    Q \= Q1,
+    plus(Q1, D, S1), Q \= S1,
+    plus(Q, D, S2), Q1 \= S2,
+    plus(D, 1, D1),
+    noattack(Q, Qs, D1).
+
+safe([]).
+safe([Q|Qs]) :- noattack(Q, Qs, 1), safe(Qs).
+
+queens(N, Qs) :- range(N, B), perm(B, Qs), safe(Qs).
+`
+
+func main() {
+	n := 6
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 || v > 8 {
+			log.Fatalf("usage: nqueens [1-8]")
+		}
+		n = v
+	}
+
+	db := chainsplit.Open()
+	if err := db.Exec(prog); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(fmt.Sprintf("?- queens(%d, Qs).", n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d-queens: %d solutions (%v, %v)\n\n", n, len(res.Rows), res.Strategy, res.Duration)
+	for i, row := range res.Rows {
+		if i >= 2 {
+			fmt.Printf("… and %d more\n", len(res.Rows)-2)
+			break
+		}
+		printBoard(row["Qs"].String(), n)
+		fmt.Println()
+	}
+}
+
+// printBoard renders a solution list like "[2, 4, 1, 3]".
+func printBoard(qs string, n int) {
+	fmt.Println(qs)
+	cols := strings.Split(strings.Trim(qs, "[]"), ", ")
+	for _, c := range cols {
+		col, _ := strconv.Atoi(c)
+		var b strings.Builder
+		for i := 1; i <= n; i++ {
+			if i == col {
+				b.WriteString(" ♛")
+			} else {
+				b.WriteString(" ·")
+			}
+		}
+		fmt.Println(b.String())
+	}
+}

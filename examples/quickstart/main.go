@@ -1,0 +1,68 @@
+// Quickstart: load a program, run queries, inspect the plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chainsplit"
+)
+
+func main() {
+	db := chainsplit.Open()
+
+	// A function-free recursion (paper Example 1.1) and a functional
+	// one (paper §1.2) side by side.
+	err := db.Exec(`
+% same-generation relatives
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+sg(X, Y) :- sibling(X, Y).
+parent(ann, alice).  parent(bob, ben).
+parent(alice, gran). parent(ben, gran).
+sibling(alice, ben).
+
+% list concatenation
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Who is in ann's generation?
+	res, err := db.Query("?- sg(ann, Y).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sg(ann, Y):")
+	for _, row := range res.Rows {
+		fmt.Printf("  Y = %s\n", row["Y"])
+	}
+	fmt.Printf("  strategy: %v, %v\n\n", res.Strategy, res.Duration)
+
+	// Functional recursion: evaluated by buffered chain-split
+	// evaluation (the cons rebuilding W is delayed until the exit rule
+	// fires).
+	res, err = db.Query("?- append([1,2], [3,4], W).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("append([1,2], [3,4], W):\n  W = %s\n", res.Rows[0]["W"])
+	fmt.Printf("  strategy: %v (buffered %d list cells)\n\n", res.Strategy, res.Metrics.Edges)
+
+	// Explain shows the chain-split the planner derived.
+	plan, err := db.Explain("?- append([1,2], [3,4], W).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan for append([1,2], [3,4], W):")
+	fmt.Println(plan)
+
+	// And a query the analysis rejects: with only the middle argument
+	// bound, append has infinitely many answers.
+	if _, err := db.Query("?- append(U, [3], W)."); err != nil {
+		fmt.Printf("append(U, [3], W) rejected as expected:\n  %v\n", err)
+	}
+}

@@ -1,0 +1,84 @@
+// scsg — the paper's Example 1.2: same-country same-generation
+// relatives, the motivating case for efficiency-based chain-split.
+//
+// The recursive rule's single chain generating path
+// ⟨parent, same_country, parent⟩ contains the dense same_country
+// connection; classic magic sets propagate the query binding through
+// it and the magic set degenerates toward a cross product. Chain-split
+// magic sets stop the propagation after parent(X, X1).
+//
+//	go run ./examples/scsg
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"chainsplit"
+)
+
+// family generates a binary family forest over `gens` generations and
+// assigns everyone to one of `countries` countries round-robin.
+func family(gens, countries int) string {
+	var b strings.Builder
+	name := func(g, i int) string { return fmt.Sprintf("p%d_%d", g, i) }
+	b.WriteString("sibling(p0_0, p0_0).\n")
+	count := 1
+	counts := []int{1}
+	for g := 1; g <= gens; g++ {
+		next := count * 2
+		for i := 0; i < next; i++ {
+			fmt.Fprintf(&b, "parent(%s, %s).\n", name(g, i), name(g-1, i/2))
+		}
+		for p := 0; p < count; p++ {
+			fmt.Fprintf(&b, "sibling(%s, %s).\n", name(g, 2*p), name(g, 2*p+1))
+			fmt.Fprintf(&b, "sibling(%s, %s).\n", name(g, 2*p+1), name(g, 2*p))
+		}
+		count = next
+		counts = append(counts, count)
+	}
+	for g := 0; g <= gens; g++ {
+		n := counts[g]
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i%countries == j%countries {
+					fmt.Fprintf(&b, "same_country(%s, %s).\n", name(g, i), name(g, j))
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+const rules = `
+scsg(X, Y) :- parent(X, X1), parent(Y, Y1), same_country(X1, Y1), scsg(X1, Y1).
+scsg(X, Y) :- sibling(X, Y).
+`
+
+func main() {
+	for _, countries := range []int{1, 8} {
+		fmt.Printf("=== %d countr%s ===\n", countries, map[bool]string{true: "y", false: "ies"}[countries == 1])
+		for _, strat := range []chainsplit.Strategy{
+			chainsplit.StrategyMagicFollow, // classic magic sets (baseline)
+			chainsplit.StrategyMagic,       // Algorithm 3.1
+		} {
+			db := chainsplit.Open()
+			if err := db.Exec(rules + family(5, countries)); err != nil {
+				log.Fatal(err)
+			}
+			res, err := db.Query("?- scsg(p5_0, Y).", chainsplit.WithStrategy(strat))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-22v answers=%-3d magic-set=%-6d derived=%-6d time=%v\n",
+				strat, len(res.Rows), res.Metrics.MagicTuples,
+				res.Metrics.DerivedTuples, res.Duration)
+		}
+	}
+	fmt.Println("\nWith one country (dense same_country) the chain-split policy keeps")
+	fmt.Println("the magic set to ann's ancestor line; the follow policy drags the")
+	fmt.Println("whole same-country generation into it. With eight countries the")
+	fmt.Println("connection is selective and both plans are comparable — which is")
+	fmt.Println("exactly the trade-off Algorithm 3.1's thresholds arbitrate.")
+}

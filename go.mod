@@ -1,0 +1,3 @@
+module chainsplit
+
+go 1.22

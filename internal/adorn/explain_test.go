@@ -1,0 +1,45 @@
+package adorn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainFinite(t *testing.T) {
+	p := mustParse(t, appendSrc)
+	an := NewAnalysis(p)
+	got := an.Explain("append", 3, "bbf")
+	if !strings.Contains(got, "finitely evaluable") || strings.Contains(got, "infinitely") {
+		t.Errorf("Explain = %q", got)
+	}
+}
+
+func TestExplainInfiniteNamesCulprits(t *testing.T) {
+	p := mustParse(t, appendSrc)
+	an := NewAnalysis(p)
+	got := an.Explain("append", 3, "fbf")
+	if !strings.Contains(got, "infinitely evaluable") {
+		t.Fatalf("Explain = %q", got)
+	}
+	if !strings.Contains(got, "cons") {
+		t.Errorf("culprit literals missing: %q", got)
+	}
+}
+
+func TestExplainBuiltin(t *testing.T) {
+	p := mustParse(t, appendSrc)
+	an := NewAnalysis(p)
+	got := an.Explain("cons", 3, "bff")
+	if !strings.Contains(got, "finite modes: bbf, ffb") {
+		t.Errorf("Explain = %q", got)
+	}
+}
+
+func TestExplainUnboundHead(t *testing.T) {
+	p := mustParse(t, `free(X, Y) :- src(X).`)
+	an := NewAnalysis(p)
+	got := an.Explain("free", 2, "bf")
+	if !strings.Contains(got, "head variable Y is never bound") {
+		t.Errorf("Explain = %q", got)
+	}
+}

@@ -1,0 +1,63 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"chainsplit/internal/program"
+)
+
+func TestRedundantRecursiveRuleDropped(t *testing.T) {
+	c, _ := compile(t, `
+p(X, Y) :- p(X, Y), q(X).
+p(X, Y) :- e(X, Y).
+`, "p/2")
+	if len(c.RecRules) != 0 {
+		t.Errorf("redundant rule kept: %v", c.RecRules)
+	}
+	if len(c.Notes) != 1 || !strings.Contains(c.Notes[0], "redundant") {
+		t.Errorf("Notes = %v", c.Notes)
+	}
+	if len(c.ExitRules) != 1 {
+		t.Errorf("exit rules = %v", c.ExitRules)
+	}
+}
+
+func TestPermutedRecursionKept(t *testing.T) {
+	// p(X, Y) :- p(Y, X) is NOT redundant (symmetric closure).
+	c, _ := compile(t, `
+p(X, Y) :- p(Y, X).
+p(X, Y) :- e(X, Y).
+`, "p/2")
+	if len(c.RecRules) != 1 {
+		t.Errorf("permuted recursion dropped: %v", c.Notes)
+	}
+}
+
+func TestProperRecursionKept(t *testing.T) {
+	c, _ := compile(t, `
+p(X, Y) :- e(X, Z), p(Z, Y).
+p(X, Y) :- e(X, Y).
+`, "p/2")
+	if len(c.RecRules) != 1 || len(c.Notes) != 0 {
+		t.Errorf("proper recursion mangled: rules=%d notes=%v", len(c.RecRules), c.Notes)
+	}
+}
+
+func TestRedundantRuleSemanticsPreserved(t *testing.T) {
+	// The dropped rule must not change answers: classify becomes
+	// effectively nonrecursive for evaluation via chain form.
+	c, _ := compile(t, `
+p(X, Y) :- p(X, Y), q(X).
+p(X, Y) :- e(X, Y).
+`, "p/2")
+	// Class still reports what the dependency graph says (recursive),
+	// but with zero recursive rules the chain evaluators treat it as
+	// exit-only.
+	if c.Class == program.ClassNonrecursive {
+		t.Log("classifier already sees it as nonrecursive — also fine")
+	}
+	if c.NChains() != 0 {
+		t.Errorf("NChains = %d, want 0", c.NChains())
+	}
+}

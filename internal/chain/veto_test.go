@@ -1,0 +1,66 @@
+package chain
+
+import (
+	"testing"
+
+	"chainsplit/internal/adorn"
+	"chainsplit/internal/program"
+)
+
+func TestComputeSplitVetoDelaysConnection(t *testing.T) {
+	c, p := compile(t, scsgSrc, "scsg/2")
+	an := adorn.NewAnalysis(p)
+	_ = p
+	// Without a veto, the connected path is followed end to end.
+	noVeto, err := ComputeSplit(an, c.RecRules[0], "bf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noVeto.Eval) != 3 {
+		t.Fatalf("unvetoed split = %+v (expected all three CGP literals followed)", noVeto)
+	}
+	// Veto same_country: it and everything downstream of it delay.
+	veto := func(lit program.Atom, bound map[string]bool) bool {
+		return lit.Pred == "same_country"
+	}
+	vetoed, err := ComputeSplitVeto(an, c.RecRules[0], "bf", veto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vetoed.Eval) != 1 || c.RecRules[0].Rule.Body[vetoed.Eval[0]].Pred != "parent" {
+		t.Errorf("vetoed split eval = %v", vetoed.Eval)
+	}
+	if vetoed.RecAd != "bf" {
+		t.Errorf("vetoed RecAd = %q, want bf (Y1 unbound)", vetoed.RecAd)
+	}
+	if len(vetoed.Delayed) != 2 {
+		t.Errorf("vetoed delayed = %v", vetoed.Delayed)
+	}
+	// A vetoed split is an efficiency split, not a finiteness one.
+	if vetoed.Mandatory {
+		t.Error("efficiency veto reported as mandatory")
+	}
+}
+
+func TestComputeSplitTotalVetoMaximalSplit(t *testing.T) {
+	// Vetoing every connection never wedges a function-free recursion:
+	// the recursive call stays finitely evaluable even fully unbound
+	// (EDB closure), so the schedule degenerates to the maximal split
+	// — empty evaluated portion, everything delayed.
+	c, p := compile(t, `
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+anc(X, Y) :- par(X, Y).
+`, "anc/2")
+	an := adorn.NewAnalysis(p)
+	veto := func(lit program.Atom, bound map[string]bool) bool { return true }
+	sp, err := ComputeSplitVeto(an, c.RecRules[0], "bf", veto)
+	if err != nil {
+		t.Fatalf("total veto wedged the schedule: %v", err)
+	}
+	if len(sp.Eval) != 0 || len(sp.Delayed) != 1 || sp.RecAd != "ff" {
+		t.Errorf("split = %+v, want maximal split with rec^ff", sp)
+	}
+	if sp.Mandatory {
+		t.Error("veto-induced split reported mandatory")
+	}
+}

@@ -1,0 +1,943 @@
+// Package core implements the query planner — the paper's overall
+// architecture (and the LogicBase prototype it describes): a rule
+// compiler that classifies recursions and compiles chain forms, and a
+// query evaluator that integrates chain-following, chain-split and
+// constraint-based evaluation.
+//
+// Given a query, the planner:
+//
+//  1. computes the goal adornment and verifies finite evaluability
+//     (§2.2); an infinitely evaluable query is rejected statically,
+//  2. classifies the queried recursion (linear / nested / nonlinear)
+//     and compiles its chain form (§1),
+//  3. chooses the evaluation method: magic sets with chain-split
+//     binding propagation for function-free recursions (Algorithm
+//     3.1), buffered chain-split evaluation for compiled functional
+//     chains (Algorithm 3.2) with constraint pushing (Algorithm 3.3),
+//     and top-down chain-split scheduling for nested and nonlinear
+//     functional recursions (§4),
+//  4. executes and reports both answers and the metrics the paper's
+//     analysis is phrased in (magic set sizes, buffered edge counts,
+//     pruned contexts, iteration profiles).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"chainsplit/internal/adorn"
+	"chainsplit/internal/builtin"
+	"chainsplit/internal/chain"
+	"chainsplit/internal/cost"
+	"chainsplit/internal/counting"
+	"chainsplit/internal/magic"
+	"chainsplit/internal/partial"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/seminaive"
+	"chainsplit/internal/term"
+	"chainsplit/internal/topdown"
+)
+
+// Strategy selects an evaluation method.
+type Strategy int
+
+const (
+	// StrategyAuto lets the planner choose (the paper's architecture).
+	StrategyAuto Strategy = iota
+	// StrategyMagic is chain-split magic sets (Algorithm 3.1).
+	StrategyMagic
+	// StrategyMagicFollow is classic magic sets (always propagate).
+	StrategyMagicFollow
+	// StrategyMagicSplit is always-split magic sets (ablation).
+	StrategyMagicSplit
+	// StrategyBuffered is buffered chain-split evaluation (Alg 3.2).
+	StrategyBuffered
+	// StrategyTopDown is tabled top-down with chain-split scheduling.
+	StrategyTopDown
+	// StrategySeminaive is plain bottom-up evaluation (no magic).
+	StrategySeminaive
+)
+
+var strategyNames = map[Strategy]string{
+	StrategyAuto:        "auto",
+	StrategyMagic:       "magic(cost-split)",
+	StrategyMagicFollow: "magic(follow)",
+	StrategyMagicSplit:  "magic(split)",
+	StrategyBuffered:    "buffered-chain-split",
+	StrategyTopDown:     "topdown-chain-split",
+	StrategySeminaive:   "seminaive",
+}
+
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ErrNotFinitelyEvaluable is wrapped by errors reporting statically
+// infinite queries.
+var ErrNotFinitelyEvaluable = errors.New("query is not finitely evaluable")
+
+// Options configures planning and execution.
+type Options struct {
+	// Strategy overrides the planner's choice.
+	Strategy Strategy
+	// Thresholds for Algorithm 3.1 (zero → cost.DefaultThresholds).
+	Thresholds cost.Thresholds
+	// CostDepth is the recursion-depth estimate for the quantitative
+	// comparison (0 = model default).
+	CostDepth int
+	// Budgets (0 = per-engine defaults).
+	MaxIterations int
+	MaxTuples     int
+	MaxSteps      int
+	MaxLevels     int
+	MaxAnswers    int
+	// TraceDeltas records per-iteration/per-level profiles.
+	TraceDeltas bool
+	// Limit truncates the answer set to the first n answers (0 = all).
+	// With Limit 1 a query becomes an existence check — the paper's
+	// conclusion calls for integrating chain-split evaluation with
+	// existence checking.
+	Limit int
+}
+
+// Metrics aggregates engine statistics (fields are zero when the
+// engine that produces them did not run).
+type Metrics struct {
+	Duration time.Duration
+
+	// Bottom-up (seminaive / magic).
+	Iterations    int
+	DerivedTuples int
+	Matches       int64
+	MagicTuples   int // tuples in magic relations
+	Deltas        []seminaive.IterStats
+
+	// Buffered (counting).
+	Contexts int
+	Edges    int
+	Pruned   int
+	UpJoins  int
+	Profile  []counting.LevelStats
+	// Events is the chronological buffered-evaluation log (with
+	// TraceDeltas): the observable form of the paper's worked traces.
+	Events []string
+
+	// Top-down.
+	Steps     int
+	Calls     int
+	TableHits int
+}
+
+// Plan describes what the planner decided, for Explain output.
+type Plan struct {
+	Strategy  Strategy
+	Goal      string
+	Adornment string
+	Class     program.RecursionClass
+	NChains   int
+	// Splits describes the chain-split of each recursive rule.
+	Splits []string
+	// Decisions lists magic propagation decisions (Algorithm 3.1).
+	Decisions []magic.Decision
+	// Pushed/NotPushed report constraint pushing (Algorithm 3.3).
+	Pushed    []string
+	NotPushed []string
+	Notes     []string
+}
+
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "goal:      %s (adornment %s)\n", p.Goal, p.Adornment)
+	fmt.Fprintf(&b, "class:     %s", p.Class)
+	if p.NChains > 0 {
+		fmt.Fprintf(&b, ", %d-chain", p.NChains)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "strategy:  %s\n", p.Strategy)
+	for _, s := range p.Splits {
+		fmt.Fprintf(&b, "split:     %s\n", s)
+	}
+	for _, d := range p.Decisions {
+		fmt.Fprintf(&b, "propagate: %s → %s (%s)\n", d.Literal, d.Choice, d.Why)
+	}
+	for _, s := range p.Pushed {
+		fmt.Fprintf(&b, "pushed:    %s\n", s)
+	}
+	for _, s := range p.NotPushed {
+		fmt.Fprintf(&b, "residual:  %s\n", s)
+	}
+	for _, n := range p.Notes {
+		fmt.Fprintf(&b, "note:      %s\n", n)
+	}
+	return b.String()
+}
+
+// Result is a completed query.
+type Result struct {
+	// Vars lists the goal's variable names in order of appearance.
+	Vars []string
+	// Answers holds one row per answer: the goal's argument vector.
+	Answers [][]term.Term
+	// Bindings projects each answer onto Vars.
+	Bindings []map[string]term.Term
+	Plan     *Plan
+	Metrics  Metrics
+}
+
+// DB is a deductive database instance: a rectified program plus an EDB
+// catalog.
+type DB struct {
+	source *program.Program // as written
+	prog   *program.Program // rectified
+	cat    *relation.Catalog
+	// analysis caches the adornment/finiteness analysis (and its
+	// dependency graph); it is invalidated whenever rules change.
+	analysis *adorn.Analysis
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{source: &program.Program{}, prog: &program.Program{}, cat: relation.NewCatalog()}
+}
+
+// Load adds rules, facts and pragmas from a parsed program. It may be
+// called repeatedly; analyses are recomputed on the next query.
+func (db *DB) Load(p *program.Program) {
+	for _, r := range p.Rules {
+		db.source.Rules = append(db.source.Rules, r)
+		db.prog.Rules = append(db.prog.Rules, program.RectifyRule(r))
+	}
+	for _, f := range p.Facts {
+		db.source.Facts = append(db.source.Facts, f)
+		db.prog.Facts = append(db.prog.Facts, f)
+		db.cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args))
+	}
+	db.source.Pragmas = append(db.source.Pragmas, p.Pragmas...)
+	db.prog.Pragmas = append(db.prog.Pragmas, p.Pragmas...)
+	if len(p.Rules) > 0 {
+		db.analysis = nil // rules changed: analyses must be rebuilt
+	}
+}
+
+// analysisFor returns the cached adornment analysis, rebuilding it
+// after rule changes. Fact-only loads keep the cache: finiteness is a
+// property of the rules and the (always finite) EDB.
+func (db *DB) analysisFor() *adorn.Analysis {
+	if db.analysis == nil {
+		db.analysis = adorn.NewAnalysis(db.prog)
+	}
+	return db.analysis
+}
+
+// Program returns the rectified program (read-only).
+func (db *DB) Program() *program.Program { return db.prog }
+
+// Source returns the program as written, before rectification
+// (read-only).
+func (db *DB) Source() *program.Program { return db.source }
+
+// CompileInfo renders the chain form of a predicate ("pred/arity"):
+// its recursion class, chain generating paths and exit rules — the
+// paper's compiled form, e.g. sg's two parent chains.
+func (db *DB) CompileInfo(key string) (string, error) {
+	g := program.NewDepGraph(db.prog)
+	comp, err := chain.Compile(db.prog, g, key)
+	if err != nil {
+		return "", err
+	}
+	out := comp.String()
+	for _, n := range comp.Notes {
+		out += "  note: " + n + "\n"
+	}
+	return out, nil
+}
+
+// Catalog returns the EDB catalog (read-only by convention).
+func (db *DB) Catalog() *relation.Catalog { return db.cat }
+
+// goalAndConstraints splits a conjunctive query into its (single)
+// relational goal and builtin side constraints.
+func goalAndConstraints(goals []program.Atom) (program.Atom, []program.Atom, error) {
+	var rel []program.Atom
+	var cons []program.Atom
+	for _, g := range goals {
+		if g.IsBuiltin() {
+			cons = append(cons, g)
+		} else {
+			rel = append(rel, g)
+		}
+	}
+	switch {
+	case len(rel) == 0:
+		return program.Atom{}, nil, fmt.Errorf("core: query has no relational goal")
+	case len(rel) == 1 && !rel[0].Negated:
+		return rel[0], cons, nil
+	default:
+		return program.Atom{}, nil, fmt.Errorf("core: conjunctive/negated queries are evaluated top-down; got %d relational goals", len(rel))
+	}
+}
+
+// Query plans and executes a conjunctive query.
+func (db *DB) Query(goals []program.Atom, opts Options) (*Result, error) {
+	start := time.Now()
+	opts = db.applyPragmas(opts)
+	res, err := db.query(goals, opts)
+	if res != nil {
+		if opts.Limit > 0 && len(res.Answers) > opts.Limit {
+			res.Answers = res.Answers[:opts.Limit]
+		}
+		res.Metrics.Duration = time.Since(start)
+		res.finish(goals)
+	}
+	return res, err
+}
+
+// LoadTuples bulk-loads ground tuples into an extensional relation,
+// bypassing the parser. Every tuple must be ground and of the same
+// arity.
+func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	arity := len(tuples[0])
+	if existing := db.cat.Get(pred); existing != nil && existing.Arity() != arity {
+		return fmt.Errorf("core: relation %s exists with arity %d, tuples have arity %d", pred, existing.Arity(), arity)
+	}
+	rel := db.cat.Ensure(pred, arity)
+	for i, tup := range tuples {
+		if len(tup) != arity {
+			return fmt.Errorf("core: tuple %d has arity %d, want %d", i, len(tup), arity)
+		}
+		for _, v := range tup {
+			if !v.Ground() {
+				return fmt.Errorf("core: tuple %d is not ground: %v", i, tup)
+			}
+		}
+		rel.Insert(relation.Tuple(tup))
+		db.prog.Facts = append(db.prog.Facts, program.Atom{Pred: pred, Args: tup})
+		db.source.Facts = append(db.source.Facts, program.Atom{Pred: pred, Args: tup})
+	}
+	return nil
+}
+
+// Explain plans the query without running it (buffered/topdown plans
+// include split analysis; execution metrics are absent).
+func (db *DB) Explain(goals []program.Atom, opts Options) (*Plan, error) {
+	opts = db.applyPragmas(opts)
+	goal, cons, err := goalAndConstraints(goals)
+	if err != nil {
+		// Fall back: describe the conjunction as top-down.
+		return &Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)}, nil
+	}
+	plan, _, err := db.plan(goal, cons, opts)
+	return plan, err
+}
+
+func atomsString(goals []program.Atom) string {
+	parts := make([]string, len(goals))
+	for i, g := range goals {
+		parts[i] = g.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// planned bundles everything needed to execute.
+type planned struct {
+	goal     program.Atom
+	cons     []program.Atom
+	an       *adorn.Analysis
+	graph    *program.DepGraph
+	comp     *chain.Compiled
+	push     *partial.Result
+	strategy Strategy
+}
+
+// applyPragmas folds program pragmas into the options where the caller
+// has not overridden them:
+//
+//	@threshold split 4.    chain-split threshold (Algorithm 3.1)
+//	@threshold follow 2.   chain-following threshold
+//	@depth 8.              cost-model recursion-depth estimate
+//	@strategy buffered.    default strategy (auto|magic|magic_follow|
+//	                       magic_split|buffered|topdown|seminaive)
+func (db *DB) applyPragmas(opts Options) Options {
+	strategies := map[string]Strategy{
+		"auto": StrategyAuto, "magic": StrategyMagic, "magic_follow": StrategyMagicFollow,
+		"magic_split": StrategyMagicSplit, "buffered": StrategyBuffered,
+		"topdown": StrategyTopDown, "seminaive": StrategySeminaive,
+	}
+	pragmaSplit, pragmaFollow := 0.0, 0.0
+	for _, pr := range db.prog.Pragmas {
+		switch pr.Name {
+		case "threshold":
+			if len(pr.Args) != 2 {
+				continue
+			}
+			kind, kok := pr.Args[0].(term.Sym)
+			val, vok := pr.Args[1].(term.Int)
+			if !kok || !vok {
+				continue
+			}
+			switch kind.Name {
+			case "split":
+				pragmaSplit = float64(val.V)
+			case "follow":
+				pragmaFollow = float64(val.V)
+			}
+		case "depth":
+			if len(pr.Args) == 1 && opts.CostDepth == 0 {
+				if v, ok := pr.Args[0].(term.Int); ok {
+					opts.CostDepth = int(v.V)
+				}
+			}
+		case "strategy":
+			if len(pr.Args) == 1 && opts.Strategy == StrategyAuto {
+				if s, ok := pr.Args[0].(term.Sym); ok {
+					if strat, known := strategies[s.Name]; known {
+						opts.Strategy = strat
+					}
+				}
+			}
+		}
+	}
+	// Pragma thresholds apply only when the caller set none; missing
+	// halves take the library defaults.
+	if opts.Thresholds == (cost.Thresholds{}) && (pragmaSplit > 0 || pragmaFollow > 0) {
+		opts.Thresholds = cost.DefaultThresholds
+		if pragmaSplit > 0 {
+			opts.Thresholds.SplitAbove = pragmaSplit
+		}
+		if pragmaFollow > 0 {
+			opts.Thresholds.FollowBelow = pragmaFollow
+		}
+	}
+	return opts
+}
+
+// plan decides the strategy for a single-goal query. Callers must have
+// applied pragmas to opts already (Query and Explain do).
+func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan, *planned, error) {
+	pl := &Plan{Goal: goal.String(), Adornment: adorn.GoalAdornment(goal)}
+	pd := &planned{goal: goal, cons: cons}
+
+	if builtin.IsBuiltin(goal.Pred, goal.Arity()) {
+		pl.Strategy = StrategyTopDown
+		pl.Notes = append(pl.Notes, "builtin goal evaluated directly")
+		pd.strategy = StrategyTopDown
+		return pl, pd, nil
+	}
+
+	idb := db.prog.IDB()
+	if !idb[goal.Key()] {
+		pl.Strategy = StrategySeminaive
+		pl.Notes = append(pl.Notes, "EDB goal: direct relation lookup")
+		pd.strategy = StrategySeminaive
+		return pl, pd, nil
+	}
+
+	pd.an = db.analysisFor()
+	pd.graph = pd.an.Graph()
+	pl.Class = program.Classify(db.prog, pd.graph, goal.Key())
+
+	// Static finiteness check (§2.2).
+	if !pd.an.Finite(goal.Pred, goal.Arity(), pl.Adornment) {
+		return pl, nil, fmt.Errorf("%w: %s under adornment %s (%s)",
+			ErrNotFinitelyEvaluable, goal.Key(), pl.Adornment,
+			pd.an.Explain(goal.Pred, goal.Arity(), pl.Adornment))
+	}
+
+	comp, err := chain.Compile(db.prog, pd.graph, goal.Key())
+	if err == nil {
+		pd.comp = comp
+		pl.NChains = comp.NChains()
+	}
+
+	functional := db.reachesFunctional(goal.Key(), pd.graph)
+	boundAny := strings.ContainsRune(pl.Adornment, 'b')
+	negation := db.usesNegation()
+
+	chosen := opts.Strategy
+	if chosen == StrategyAuto {
+		switch {
+		case pl.Class == program.ClassNonrecursive && !functional:
+			chosen = StrategySeminaive
+			if boundAny {
+				chosen = StrategyMagic
+			}
+		case !functional:
+			if boundAny {
+				chosen = StrategyMagic
+			} else {
+				chosen = StrategySeminaive
+			}
+		case (pl.Class == program.ClassLinear || pl.Class == program.ClassNestedLinear) && boundAny && comp != nil && len(comp.RecRules) > 0:
+			chosen = StrategyBuffered
+		case pl.Class == program.ClassMutual && boundAny && comp != nil && db.linearMutualSCC(goal.Key(), pd.graph):
+			// Mutual recursion whose every rule has at most one
+			// same-SCC body literal: the buffered evaluator's context
+			// graph spans the SCC.
+			chosen = StrategyBuffered
+		default:
+			chosen = StrategyTopDown
+		}
+		// Magic over stratified negation uses the stratum-wise
+		// construction (materialize negated strata, then rewrite) —
+		// except when the goal itself is consumed under negation, in
+		// which case no goal-direction remains.
+		if negation && (chosen == StrategyMagic || chosen == StrategyMagicFollow || chosen == StrategyMagicSplit) {
+			if db.goalUnderNegation(goal, pd.graph) {
+				chosen = StrategySeminaive
+				pl.Notes = append(pl.Notes, "goal is consumed under negation: evaluated by stratified semi-naive")
+			}
+		}
+	}
+	pd.strategy = chosen
+	pl.Strategy = chosen
+
+	// Describe splits for chain strategies.
+	if comp != nil && (chosen == StrategyBuffered || chosen == StrategyTopDown) {
+		for _, rr := range comp.RecRules {
+			sp, err := chain.ComputeSplit(pd.an, rr, pl.Adornment)
+			if err != nil {
+				pl.Splits = append(pl.Splits, fmt.Sprintf("%s: %v", rr.Rule, err))
+				continue
+			}
+			pl.Splits = append(pl.Splits, describeSplit(rr, sp))
+		}
+	}
+
+	// Constraint pushing (Algorithm 3.3) for buffered plans.
+	if chosen == StrategyBuffered && len(cons) > 0 && comp != nil {
+		push, err := partial.PushConstraints(pd.an, comp, db.cat, goal, cons)
+		if err != nil {
+			return pl, nil, err
+		}
+		pd.push = push
+		pl.Pushed = push.Pushed
+		pl.NotPushed = push.NotPushed
+	}
+	return pl, pd, nil
+}
+
+func describeSplit(rr chain.RecRule, sp chain.Split) string {
+	var ev, de []string
+	for _, i := range sp.Eval {
+		ev = append(ev, rr.Rule.Body[i].String())
+	}
+	for _, i := range sp.Delayed {
+		de = append(de, rr.Rule.Body[i].String())
+	}
+	kind := "efficiency/connectivity"
+	if sp.Mandatory {
+		kind = "mandatory (finiteness)"
+	}
+	return fmt.Sprintf("eval {%s} ⊳ rec^%s ⊳ delayed {%s} [%s]",
+		strings.Join(ev, ", "), sp.RecAd, strings.Join(de, ", "), kind)
+}
+
+// linearMutualSCC reports whether every rule of every predicate in the
+// goal's SCC has at most one same-SCC body literal — the shape the
+// buffered evaluator's SCC-wide context graph handles.
+func (db *DB) linearMutualSCC(key string, g *program.DepGraph) bool {
+	id := g.SCCOf(key)
+	if id < 0 {
+		return false
+	}
+	inSCC := make(map[string]bool)
+	for _, m := range g.SCCs[id] {
+		inSCC[m] = true
+	}
+	for _, r := range db.prog.Rules {
+		if !inSCC[r.Head.Key()] {
+			continue
+		}
+		same := 0
+		for _, b := range r.Body {
+			if !b.IsBuiltin() && !b.Negated && inSCC[b.Key()] {
+				same++
+			}
+		}
+		if same > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// goalUnderNegation reports whether the goal's predicate is in the
+// materialization closure of the program's negated literals (directly
+// or transitively consumed under negation).
+func (db *DB) goalUnderNegation(goal program.Atom, g *program.DepGraph) bool {
+	mat := make(map[string]bool)
+	var queue []string
+	for _, tos := range g.NegEdges {
+		for _, to := range tos {
+			if !mat[to] {
+				mat[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, succ := range g.Edges[k] {
+			if !mat[succ] {
+				mat[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return mat[goal.Key()]
+}
+
+// usesNegation reports whether any rule body contains a negated
+// literal.
+func (db *DB) usesNegation() bool {
+	for _, r := range db.prog.Rules {
+		for _, b := range r.Body {
+			if b.Negated {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reachesFunctional reports whether any rule reachable from the goal's
+// predicate uses a functional builtin (cons, plus, times) — the
+// paper's functional-recursion criterion.
+func (db *DB) reachesFunctional(key string, g *program.DepGraph) bool {
+	reach := map[string]bool{key: true}
+	queue := []string{key}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, succ := range g.Edges[k] {
+			if !reach[succ] {
+				reach[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+	for _, r := range db.prog.Rules {
+		if !reach[r.Head.Key()] {
+			continue
+		}
+		for _, b := range r.Body {
+			switch b.Pred {
+			case "cons", "plus", "times":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (db *DB) query(goals []program.Atom, opts Options) (*Result, error) {
+	goal, cons, err := goalAndConstraints(goals)
+	if err != nil {
+		// General conjunction: evaluate top-down.
+		return db.runTopDownConjunction(goals, opts)
+	}
+	pl, pd, err := db.plan(goal, cons, opts)
+	if err != nil {
+		return &Result{Plan: pl}, err
+	}
+	res := &Result{Plan: pl}
+	switch pd.strategy {
+	case StrategySeminaive:
+		if db.prog.IDB()[goal.Key()] || builtin.IsBuiltin(goal.Pred, goal.Arity()) {
+			return db.runSeminaive(res, goal, cons, opts)
+		}
+		return db.runEDBLookup(res, goal, cons)
+	case StrategyMagic, StrategyMagicFollow, StrategyMagicSplit:
+		return db.runMagic(res, pd, opts)
+	case StrategyBuffered:
+		r, err := db.runBuffered(res, pd, opts)
+		if err != nil && !errors.Is(err, counting.ErrBudget) {
+			// Fall back to top-down scheduling (e.g. exit rules not
+			// schedulable under this adornment, or a nonlinear rule).
+			note := fmt.Sprintf("buffered evaluation failed (%v); fell back to top-down", err)
+			r2, err2 := db.runTopDownConjunction(goals, opts)
+			if r2 != nil && r2.Plan != nil {
+				r2.Plan.Notes = append(r2.Plan.Notes, note)
+			}
+			return r2, err2
+		}
+		return r, err
+	default:
+		return db.runTopDownConjunction(goals, opts)
+	}
+}
+
+func (db *DB) runEDBLookup(res *Result, goal program.Atom, cons []program.Atom) (*Result, error) {
+	rel := db.cat.Get(goal.Pred)
+	if rel == nil || rel.Arity() != goal.Arity() {
+		res.Answers = nil
+		return res, nil
+	}
+	constraints := make(map[int]term.Term)
+	for i, a := range goal.Args {
+		if a.Ground() {
+			constraints[i] = a
+		}
+	}
+	sel := rel.Select(constraints)
+	var raw [][]term.Term
+	for _, tup := range sel.Tuples() {
+		// Non-ground non-var patterns (e.g. p([X|T])) still need a
+		// unification filter.
+		s := term.NewSubst()
+		ok := true
+		for i, a := range goal.Args {
+			if !term.Unify(s, a, tup[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			raw = append(raw, []term.Term(tup))
+		}
+	}
+	ans, err := partial.FilterAnswers(goal, cons, raw)
+	if err != nil {
+		return res, err
+	}
+	res.Answers = ans
+	return res, nil
+}
+
+func (db *DB) runSeminaive(res *Result, goal program.Atom, cons []program.Atom, opts Options) (*Result, error) {
+	cat := db.cat.Clone()
+	stats, err := seminaive.Eval(db.prog, cat, seminaive.Options{
+		MaxIterations: opts.MaxIterations,
+		MaxTuples:     opts.MaxTuples,
+		TraceDeltas:   opts.TraceDeltas,
+	})
+	res.Metrics.Iterations = stats.Iterations
+	res.Metrics.DerivedTuples = stats.DerivedTuples
+	res.Metrics.Matches = stats.Matches
+	res.Metrics.Deltas = stats.Deltas
+	if err != nil {
+		return res, err
+	}
+	rel := cat.Get(goal.Pred)
+	if rel == nil {
+		return res, nil
+	}
+	constraints := make(map[int]term.Term)
+	for i, a := range goal.Args {
+		if a.Ground() {
+			constraints[i] = a
+		}
+	}
+	var raw [][]term.Term
+	for _, tup := range rel.Select(constraints).Tuples() {
+		raw = append(raw, []term.Term(tup))
+	}
+	ans, err := partial.FilterAnswers(goal, cons, raw)
+	if err != nil {
+		return res, err
+	}
+	res.Answers = ans
+	return res, nil
+}
+
+func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) {
+	cfg := magic.Config{Thresholds: opts.Thresholds, Supplementary: true}
+	switch pd.strategy {
+	case StrategyMagicFollow:
+		cfg.Policy = magic.PolicyFollow
+	case StrategyMagicSplit:
+		cfg.Policy = magic.PolicySplit
+	default:
+		cfg.Policy = magic.PolicyCost
+		cfg.Model = &cost.Model{Cat: db.cat, Depth: opts.CostDepth}
+	}
+	var rw *magic.Rewritten
+	var err error
+	cat := db.cat.Clone()
+	if db.usesNegation() {
+		// Stratum-wise construction: materialize the negated strata
+		// first, then magic-rewrite the positive remainder against
+		// them.
+		var phase1 *program.Program
+		rw, phase1, err = magic.RewriteStratified(db.prog, pd.goal, cfg)
+		if err != nil {
+			return res, err
+		}
+		if len(phase1.Rules) > 0 {
+			p1stats, err := seminaive.Eval(phase1, cat, seminaive.Options{
+				MaxIterations: opts.MaxIterations,
+				MaxTuples:     opts.MaxTuples,
+			})
+			res.Metrics.Iterations += p1stats.Iterations
+			res.Metrics.DerivedTuples += p1stats.DerivedTuples
+			res.Metrics.Matches += p1stats.Matches
+			if err != nil {
+				return res, err
+			}
+			res.Plan.Notes = append(res.Plan.Notes,
+				fmt.Sprintf("stratified negation: %d rule(s) materialized before the magic phase", len(phase1.Rules)))
+		}
+	} else {
+		rw, err = magic.Rewrite(db.prog, pd.goal, cfg)
+		if err != nil {
+			return res, err
+		}
+	}
+	res.Plan.Decisions = rw.Decisions
+	stats, err := seminaive.Eval(rw.Program, cat, seminaive.Options{
+		MaxIterations: opts.MaxIterations,
+		MaxTuples:     opts.MaxTuples,
+		TraceDeltas:   opts.TraceDeltas,
+	})
+	res.Metrics.Iterations += stats.Iterations
+	res.Metrics.DerivedTuples += stats.DerivedTuples
+	res.Metrics.Matches += stats.Matches
+	res.Metrics.Deltas = stats.Deltas
+	for _, name := range cat.Names() {
+		if strings.HasPrefix(name, "m$") {
+			res.Metrics.MagicTuples += cat.Get(name).Len()
+		}
+	}
+	if err != nil {
+		return res, err
+	}
+	var raw [][]term.Term
+	for _, tup := range magic.Answers(cat, rw, pd.goal).Tuples() {
+		raw = append(raw, []term.Term(tup))
+	}
+	ans, err := partial.FilterAnswers(pd.goal, pd.cons, raw)
+	if err != nil {
+		return res, err
+	}
+	res.Answers = ans
+	return res, nil
+}
+
+func (db *DB) runBuffered(res *Result, pd *planned, opts Options) (*Result, error) {
+	copts := counting.Options{
+		MaxLevels:  opts.MaxLevels,
+		MaxAnswers: opts.MaxAnswers,
+		Trace:      opts.TraceDeltas,
+	}
+	if pd.push != nil {
+		copts.Acc = pd.push.Acc
+	}
+	ev := counting.New(db.prog, db.cat, pd.comp, copts)
+	raw, err := ev.Query(pd.goal)
+	st := ev.Stats()
+	res.Metrics.Contexts = st.Contexts
+	res.Metrics.Edges = st.Edges
+	res.Metrics.Pruned = st.Pruned
+	res.Metrics.UpJoins = st.UpJoins
+	res.Metrics.Profile = st.Profile
+	res.Metrics.Events = st.Events
+	if err != nil {
+		return res, err
+	}
+	ans, err := partial.FilterAnswers(pd.goal, pd.cons, raw)
+	if err != nil {
+		return res, err
+	}
+	res.Answers = ans
+	return res, nil
+}
+
+func (db *DB) runTopDownConjunction(goals []program.Atom, opts Options) (*Result, error) {
+	res := &Result{Plan: &Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)}}
+	e := topdown.New(db.prog, db.cat, topdown.Options{MaxSteps: opts.MaxSteps})
+	answers, err := e.SolveConjunction(goals)
+	st := e.Stats()
+	res.Metrics.Steps = st.Steps
+	res.Metrics.Calls = st.Calls
+	res.Metrics.TableHits = st.TableHits
+	if err != nil {
+		return res, err
+	}
+	// answers are substitutions over the goal variables; project the
+	// FIRST goal's args as the canonical answer vector when there is
+	// exactly one relational goal, else the variable bindings.
+	var rel []program.Atom
+	for _, g := range goals {
+		if !g.IsBuiltin() {
+			rel = append(rel, g)
+		}
+	}
+	primary := goals[0]
+	if len(rel) == 1 {
+		primary = rel[0]
+	}
+	seenAns := make(map[string]bool)
+	for _, s := range answers {
+		vec := s.ResolveAll(primary.Args)
+		var kb []byte
+		for _, a := range vec {
+			kb = term.AppendKey(kb, a)
+		}
+		if seenAns[string(kb)] {
+			continue
+		}
+		seenAns[string(kb)] = true
+		res.Answers = append(res.Answers, vec)
+	}
+	res.Plan.Goal = primary.String()
+	res.Plan.Adornment = adorn.GoalAdornment(primary)
+	return res, nil
+}
+
+// finish populates Vars and Bindings from the executed goals.
+func (r *Result) finish(goals []program.Atom) {
+	var primary program.Atom
+	var rel []program.Atom
+	for _, g := range goals {
+		if !g.IsBuiltin() {
+			rel = append(rel, g)
+		}
+	}
+	if len(rel) >= 1 {
+		primary = rel[0]
+	} else if len(goals) > 0 {
+		primary = goals[0]
+	}
+	varOrder := []string{}
+	varPos := map[string][]int{}
+	for i, a := range primary.Args {
+		if v, ok := a.(term.Var); ok {
+			if _, dup := varPos[v.Name]; !dup {
+				varOrder = append(varOrder, v.Name)
+			}
+			varPos[v.Name] = append(varPos[v.Name], i)
+		}
+	}
+	r.Vars = varOrder
+	for _, ans := range r.Answers {
+		m := make(map[string]term.Term, len(varOrder))
+		for _, v := range varOrder {
+			m[v] = ans[varPos[v][0]]
+		}
+		r.Bindings = append(r.Bindings, m)
+	}
+}
+
+// SortAnswers orders answers canonically (stable output for tools).
+func SortAnswers(answers [][]term.Term) {
+	sort.Slice(answers, func(i, j int) bool {
+		a, b := answers[i], answers[j]
+		for k := range a {
+			if c := term.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

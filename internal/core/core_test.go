@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/term"
+)
+
+func load(t *testing.T, src string) *DB {
+	t.Helper()
+	res, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	db.Load(res.Program)
+	return db
+}
+
+func ask(t *testing.T, db *DB, q string, opts Options) *Result {
+	t.Helper()
+	goals, err := lang.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(goals.Goals, opts)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", q, err)
+	}
+	return res
+}
+
+const sgSrc = `
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+sg(X, Y) :- sibling(X, Y).
+parent(c1, p1). parent(c2, p2).
+parent(p1, g1). parent(p2, g1).
+sibling(p1, p2). sibling(g1, g1).
+`
+
+func TestAutoPicksMagicForFunctionFree(t *testing.T) {
+	db := load(t, sgSrc)
+	res := ask(t, db, "?- sg(c1, Y).", Options{})
+	if res.Plan.Strategy != StrategyMagic {
+		t.Errorf("strategy = %v, want magic", res.Plan.Strategy)
+	}
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+	if res.Plan.Class != program.ClassLinear {
+		t.Errorf("class = %v", res.Plan.Class)
+	}
+	if res.Metrics.MagicTuples == 0 {
+		t.Error("magic metrics missing")
+	}
+}
+
+func TestAutoPicksBufferedForFunctionalLinear(t *testing.T) {
+	db := load(t, `
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`)
+	res := ask(t, db, "?- append([1,2], [3], W).", Options{})
+	if res.Plan.Strategy != StrategyBuffered {
+		t.Errorf("strategy = %v, want buffered", res.Plan.Strategy)
+	}
+	if len(res.Answers) != 1 || !term.Equal(res.Answers[0][2], term.IntList(1, 2, 3)) {
+		t.Errorf("answers = %v", res.Answers)
+	}
+	if res.Metrics.Edges == 0 {
+		t.Error("buffered metrics missing")
+	}
+	if len(res.Plan.Splits) != 1 || !strings.Contains(res.Plan.Splits[0], "mandatory") {
+		t.Errorf("splits = %v", res.Plan.Splits)
+	}
+}
+
+func TestAutoPicksTopDownForNonlinear(t *testing.T) {
+	db := load(t, `
+qsort([X|Xs], Ys) :-
+    partition(Xs, X, Littles, Bigs),
+    qsort(Littles, Ls), qsort(Bigs, Bs),
+    append(Ls, [X|Bs], Ys).
+qsort([], []).
+partition([X|Xs], Y, [X|Ls], Bs) :- X =< Y, partition(Xs, Y, Ls, Bs).
+partition([X|Xs], Y, Ls, [X|Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+partition([], Y, [], []).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`)
+	res := ask(t, db, "?- qsort([4,9,5], Ys).", Options{})
+	if res.Plan.Strategy != StrategyTopDown {
+		t.Errorf("strategy = %v, want topdown", res.Plan.Strategy)
+	}
+	if len(res.Answers) != 1 || !term.Equal(res.Answers[0][1], term.IntList(4, 5, 9)) {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestIsortNestedViaBuffered(t *testing.T) {
+	db := load(t, `
+isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+isort([], []).
+insert(X, [], [X]).
+insert(X, [Y|Ys], [Y|Zs]) :- X > Y, insert(X, Ys, Zs).
+insert(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+`)
+	res := ask(t, db, "?- isort([5,7,1], Ys).", Options{})
+	if res.Plan.Strategy != StrategyBuffered {
+		t.Errorf("strategy = %v, want buffered (nested linear)", res.Plan.Strategy)
+	}
+	if len(res.Answers) != 1 || !term.Equal(res.Answers[0][1], term.IntList(1, 5, 7)) {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestStrategyOverrideAgreement(t *testing.T) {
+	// All applicable strategies must return the same answer set.
+	for _, strat := range []Strategy{StrategyMagic, StrategyMagicFollow, StrategyMagicSplit, StrategySeminaive, StrategyTopDown, StrategyBuffered} {
+		db := load(t, sgSrc)
+		res := ask(t, db, "?- sg(c1, Y).", Options{Strategy: strat})
+		if len(res.Answers) != 2 {
+			t.Errorf("%v: %d answers (%v)", strat, len(res.Answers), res.Answers)
+		}
+		found := map[string]bool{}
+		for _, a := range res.Answers {
+			found[a[1].String()] = true
+		}
+		if !found["c1"] || !found["c2"] {
+			t.Errorf("%v: answers = %v", strat, res.Answers)
+		}
+	}
+}
+
+func TestEDBLookup(t *testing.T) {
+	db := load(t, sgSrc)
+	res := ask(t, db, "?- parent(c1, P).", Options{})
+	if res.Plan.Strategy != StrategySeminaive {
+		t.Errorf("strategy = %v", res.Plan.Strategy)
+	}
+	if len(res.Answers) != 1 || !term.Equal(res.Answers[0][1], term.NewSym("p1")) {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestBuiltinGoal(t *testing.T) {
+	db := load(t, sgSrc)
+	res := ask(t, db, "?- plus(2, 3, X).", Options{})
+	if len(res.Answers) != 1 || !term.Equal(res.Answers[0][2], term.NewInt(5)) {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestConstraintsOnMagicAnswers(t *testing.T) {
+	db := load(t, `
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+edge(1, 2). edge(2, 3). edge(3, 4).
+`)
+	res := ask(t, db, "?- reach(1, Y), Y =< 3.", Options{})
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestNotFinitelyEvaluableRejected(t *testing.T) {
+	db := load(t, `
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`)
+	goals, _ := lang.ParseQuery("?- append(U, [3], W).")
+	_, err := db.Query(goals.Goals, Options{})
+	if !errors.Is(err, ErrNotFinitelyEvaluable) {
+		t.Errorf("err = %v, want ErrNotFinitelyEvaluable", err)
+	}
+}
+
+func TestTravelWithConstraintPushing(t *testing.T) {
+	db := load(t, `
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+travel(L, D, DT, A, AT, F) :-
+    flight(Fno, D, DT, A1, AT1, F1),
+    travel(L1, A1, DT1, A, AT, F2),
+    DT1 > AT1,
+    plus(F1, F2, F),
+    cons(Fno, L1, L).
+flight(1, a, 100, b, 50, 50).
+flight(2, b, 100, a, 50, 60).
+flight(3, a, 100, c, 50, 70).
+`)
+	res := ask(t, db, "?- travel(L, a, DT, A, AT, F), F =< 200.", Options{MaxLevels: 500})
+	if res.Plan.Strategy != StrategyBuffered {
+		t.Fatalf("strategy = %v", res.Plan.Strategy)
+	}
+	if len(res.Plan.Pushed) != 1 {
+		t.Errorf("Pushed = %v / %v", res.Plan.Pushed, res.Plan.NotPushed)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range res.Answers {
+		if a[5].(term.Int).V > 200 {
+			t.Errorf("violating answer %v", a)
+		}
+	}
+	if res.Metrics.Pruned == 0 {
+		t.Error("no pruning recorded")
+	}
+}
+
+func TestConjunctiveQueryTopDown(t *testing.T) {
+	db := load(t, sgSrc)
+	res := ask(t, db, "?- parent(X, P), parent(Y, P), X \\= Y.", Options{})
+	if res.Plan.Strategy != StrategyTopDown {
+		t.Errorf("strategy = %v", res.Plan.Strategy)
+	}
+	// p1 and p2 share g1: (p1,p2) and (p2,p1).
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := load(t, sgSrc)
+	goals, _ := lang.ParseQuery("?- sg(c1, Y).")
+	plan, err := db.Explain(goals.Goals, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	for _, want := range []string{"sg(c1, Y)", "bf", "linear", "magic"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultBindings(t *testing.T) {
+	db := load(t, sgSrc)
+	res := ask(t, db, "?- sg(c1, Y).", Options{})
+	if len(res.Vars) != 1 || res.Vars[0] != "Y" {
+		t.Errorf("Vars = %v", res.Vars)
+	}
+	if len(res.Bindings) != len(res.Answers) {
+		t.Errorf("bindings/answers mismatch")
+	}
+	for _, b := range res.Bindings {
+		if b["Y"] == nil {
+			t.Errorf("binding missing Y: %v", b)
+		}
+	}
+}
+
+func TestIncrementalLoad(t *testing.T) {
+	db := load(t, "edge(a, b).")
+	res2, err := lang.Parse("reach(X, Y) :- edge(X, Y).\nreach(X, Y) :- edge(X, Z), reach(Z, Y).\nedge(b, c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Load(res2.Program)
+	res := ask(t, db, "?- reach(a, Y).", Options{})
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestSortAnswers(t *testing.T) {
+	answers := [][]term.Term{
+		{term.NewInt(3)}, {term.NewInt(1)}, {term.NewInt(2)},
+	}
+	SortAnswers(answers)
+	for i, want := range []int64{1, 2, 3} {
+		if !term.Equal(answers[i][0], term.NewInt(want)) {
+			t.Fatalf("sorted = %v", answers)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	for s := StrategyAuto; s <= StrategySeminaive; s++ {
+		if strings.HasPrefix(s.String(), "strategy(") {
+			t.Errorf("strategy %d unnamed", s)
+		}
+	}
+}
+
+func TestDifferentialSCSGAllPolicies(t *testing.T) {
+	src := `
+scsg(X, Y) :- parent(X, X1), parent(Y, Y1), same_country(X1, Y1), scsg(X1, Y1).
+scsg(X, Y) :- sibling(X, Y).
+parent(ann, ap1). parent(ap1, ap2).
+parent(bob, bp1). parent(bp1, bp2).
+sibling(ap2, bp2).
+same_country(ap1, bp1). same_country(ap2, bp2).
+`
+	var baseline string
+	for _, strat := range []Strategy{StrategyMagicFollow, StrategyMagic, StrategyMagicSplit, StrategyTopDown, StrategySeminaive} {
+		db := load(t, src)
+		res := ask(t, db, "?- scsg(ann, Y).", Options{Strategy: strat})
+		SortAnswers(res.Answers)
+		var b strings.Builder
+		for _, a := range res.Answers {
+			b.WriteString(a[0].String() + "," + a[1].String() + ";")
+		}
+		if baseline == "" {
+			baseline = b.String()
+			if !strings.Contains(baseline, "bob") {
+				t.Fatalf("baseline missing scsg(ann,bob): %q", baseline)
+			}
+		} else if b.String() != baseline {
+			t.Errorf("%v differs: %q vs %q", strat, b.String(), baseline)
+		}
+	}
+}

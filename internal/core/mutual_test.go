@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"chainsplit/internal/term"
+)
+
+const evenOddSrc = `
+evenlen([]).
+evenlen([X|Xs]) :- oddlen(Xs).
+oddlen([X|Xs]) :- evenlen(Xs).
+`
+
+func TestMutualFunctionalPicksBuffered(t *testing.T) {
+	db := load(t, evenOddSrc)
+	res := ask(t, db, "?- evenlen([1,2,3,4]).", Options{})
+	if res.Plan.Strategy != StrategyBuffered {
+		t.Errorf("strategy = %v, want buffered (linear mutual SCC)", res.Plan.Strategy)
+	}
+	if len(res.Answers) != 1 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+	res = ask(t, db, "?- evenlen([1,2,3]).", Options{})
+	if len(res.Answers) != 0 {
+		t.Errorf("evenlen of odd list: %v", res.Answers)
+	}
+}
+
+func TestMutualBufferedVsTopdownAgree(t *testing.T) {
+	src := `
+reachA(X, Y) :- aEdge(X, Y).
+reachA(X, Y) :- aEdge(X, Z), reachB(Z, Y).
+reachB(X, Y) :- bEdge(X, Y).
+reachB(X, Y) :- bEdge(X, Z), reachA(Z, Y).
+aEdge(n0, n1). aEdge(n2, n3). aEdge(n1, n4). aEdge(n4, n0).
+bEdge(n1, n2). bEdge(n3, n0). bEdge(n4, n4).
+`
+	for _, start := range []string{"n0", "n1", "n4"} {
+		var counts []int
+		for _, strat := range []Strategy{StrategyBuffered, StrategyTopDown, StrategySeminaive} {
+			db := load(t, src)
+			goal := "?- reachA(" + start + ", Y)."
+			res := ask(t, db, goal, Options{Strategy: strat})
+			counts = append(counts, len(res.Answers))
+		}
+		if counts[0] != counts[1] || counts[1] != counts[2] {
+			t.Errorf("start %s: strategy disagreement %v", start, counts)
+		}
+	}
+}
+
+func TestForcedBufferedOnNonlinearFallsBack(t *testing.T) {
+	db := load(t, `
+tcn(X, Y) :- e(X, Y).
+tcn(X, Y) :- tcn(X, Z), tcn(Z, Y).
+e(a, b). e(b, c).
+`)
+	res := ask(t, db, "?- tcn(a, Y).", Options{Strategy: StrategyBuffered})
+	// Buffered rejects the nonlinear rule; the planner falls back to
+	// top-down and still answers correctly.
+	if len(res.Answers) != 2 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+	foundNote := false
+	for _, n := range res.Plan.Notes {
+		if len(n) > 0 {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Errorf("expected a fallback note, got %v", res.Plan.Notes)
+	}
+}
+
+func TestNonlinearMutualStaysTopdown(t *testing.T) {
+	// Two same-SCC literals in one rule: the SCC is not linear-mutual,
+	// so the planner must not pick buffered.
+	db := load(t, `
+p(X, Y) :- q(X, Z), q(Z, Y).
+q(X, Y) :- e(X, Y).
+q(X, Y) :- p(X, Y).
+e(a, b). e(b, c).
+`)
+	res := ask(t, db, "?- p(a, Y).", Options{})
+	if res.Plan.Strategy == StrategyBuffered {
+		t.Errorf("buffered chosen for nonlinear mutual SCC")
+	}
+	if len(res.Answers) != 1 || !term.Equal(res.Answers[0][1], term.NewSym("c")) {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestStrategyPragma(t *testing.T) {
+	db := load(t, `
+@strategy magic_follow.
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(a, b). e(b, c).
+`)
+	res := ask(t, db, "?- tc(a, Y).", Options{})
+	if res.Plan.Strategy != StrategyMagicFollow {
+		t.Errorf("strategy = %v, want magic(follow) from pragma", res.Plan.Strategy)
+	}
+	// Explicit option still wins.
+	res = ask(t, db, "?- tc(a, Y).", Options{Strategy: StrategySeminaive})
+	if res.Plan.Strategy != StrategySeminaive {
+		t.Errorf("explicit override lost: %v", res.Plan.Strategy)
+	}
+}
+
+func TestThresholdPragma(t *testing.T) {
+	// With an absurdly high split threshold the cost policy follows
+	// even a dense connection.
+	src := `
+@threshold split 1000000.
+@threshold follow 999999.
+scsg(X, Y) :- parent(X, X1), parent(Y, Y1), same_country(X1, Y1), scsg(X1, Y1).
+scsg(X, Y) :- sibling(X, Y).
+parent(a, b). parent(c, d).
+same_country(b, b). same_country(b, d). same_country(d, b). same_country(d, d).
+sibling(b, d).
+`
+	db := load(t, src)
+	res := ask(t, db, "?- scsg(a, Y).", Options{})
+	for _, d := range res.Plan.Decisions {
+		if d.Choice.String() == "split" {
+			t.Errorf("split chosen despite pragma thresholds: %+v", d)
+		}
+	}
+	if len(res.Answers) != 1 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestDepthPragmaParsesAndRuns(t *testing.T) {
+	db := load(t, `
+@depth 3.
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(a, b).
+`)
+	res := ask(t, db, "?- tc(a, Y).", Options{})
+	if len(res.Answers) != 1 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}
+
+func TestUnknownPragmaIgnored(t *testing.T) {
+	db := load(t, `
+@frobnicate widgets 9.
+e(a, b).
+`)
+	res := ask(t, db, "?- e(a, Y).", Options{})
+	if len(res.Answers) != 1 {
+		t.Errorf("answers = %v", res.Answers)
+	}
+}

@@ -1,0 +1,187 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/term"
+)
+
+// buildFamily loads a parent relation (binary tree of depth d) and a
+// same_country relation over n people in c countries.
+func buildCatalog(people, countries int) *relation.Catalog {
+	cat := relation.NewCatalog()
+	parent := cat.Ensure("parent", 2)
+	sc := cat.Ensure("same_country", 2)
+	for i := 0; i < people; i++ {
+		parent.Insert(relation.Tuple{term.NewInt(int64(i)), term.NewInt(int64(i/2 + 1000))})
+		parent.Insert(relation.Tuple{term.NewInt(int64(i/2 + 1000)), term.NewInt(int64(i/4 + 2000))})
+	}
+	for i := 0; i < people; i++ {
+		for j := 0; j < people; j++ {
+			if i%countries == j%countries {
+				sc.Insert(relation.Tuple{term.NewInt(int64(i)), term.NewInt(int64(j))})
+			}
+		}
+	}
+	return cat
+}
+
+func TestExpansionSelective(t *testing.T) {
+	cat := buildCatalog(40, 1)
+	m := &Model{Cat: cat}
+	// parent with first arg bound: ~1 parent per child… our synthetic
+	// parent has exactly 1-2 parents per node, expansion ≤ 2.
+	lit := program.NewAtom("parent", term.NewVar("X"), term.NewVar("X1"))
+	e := m.Expansion(lit, map[string]bool{"X": true})
+	if e < 0.9 || e > 2.5 {
+		t.Errorf("parent expansion = %.2f, want ~1-2", e)
+	}
+	// same_country with one country: expansion ≈ n (every person
+	// matches every other).
+	lit2 := program.NewAtom("same_country", term.NewVar("X1"), term.NewVar("Y1"))
+	e2 := m.Expansion(lit2, map[string]bool{"X1": true})
+	if e2 < 20 {
+		t.Errorf("same_country expansion = %.2f, want ≈ 40", e2)
+	}
+}
+
+func TestExpansionMoreCountriesLowerRatio(t *testing.T) {
+	lit := program.NewAtom("same_country", term.NewVar("X1"), term.NewVar("Y1"))
+	var last float64 = 1e18
+	for _, c := range []int{1, 2, 5, 10} {
+		m := &Model{Cat: buildCatalog(40, c)}
+		e := m.Expansion(lit, map[string]bool{"X1": true})
+		if e >= last {
+			t.Errorf("expansion with %d countries = %.2f, not decreasing (last %.2f)", c, e, last)
+		}
+		last = e
+	}
+}
+
+func TestExpansionUnboundIsCardinality(t *testing.T) {
+	cat := buildCatalog(10, 1)
+	m := &Model{Cat: cat}
+	lit := program.NewAtom("parent", term.NewVar("A"), term.NewVar("B"))
+	e := m.Expansion(lit, nil)
+	if e != float64(cat.Get("parent").Len()) {
+		t.Errorf("unbound expansion = %.2f, want |parent| = %d", e, cat.Get("parent").Len())
+	}
+}
+
+func TestExpansionFullyBoundIsOne(t *testing.T) {
+	cat := buildCatalog(10, 1)
+	m := &Model{Cat: cat}
+	lit := program.NewAtom("parent", term.NewVar("A"), term.NewVar("B"))
+	e := m.Expansion(lit, map[string]bool{"A": true, "B": true})
+	if e != 1 {
+		t.Errorf("fully bound expansion = %.2f, want 1", e)
+	}
+}
+
+func TestExpansionUnknownRelation(t *testing.T) {
+	m := &Model{Cat: relation.NewCatalog()}
+	lit := program.NewAtom("mystery", term.NewVar("A"))
+	if e := m.Expansion(lit, nil); e != 1.5 {
+		t.Errorf("default expansion = %.2f, want 1.5", e)
+	}
+}
+
+func TestDecideThresholds(t *testing.T) {
+	m := &Model{Cat: relation.NewCatalog()}
+	th := DefaultThresholds
+	if c, _ := m.Decide(10, 1, th); c != Split {
+		t.Error("expansion 10 should split")
+	}
+	if c, _ := m.Decide(1.0, 1, th); c != Follow {
+		t.Error("expansion 1.0 should follow")
+	}
+	// Quantitative band: 2.0 with neutral prefix — following grows the
+	// magic set 2x/iteration; splitting pays the 2x once. Split wins.
+	if c, why := m.Decide(2.0, 1, th); c != Split {
+		t.Errorf("expansion 2.0 quantitative: got follow (%s)", why)
+	}
+	if _, why := m.Decide(2.0, 1, th); !strings.Contains(why, "quantitative") {
+		t.Errorf("rationale = %q, want quantitative", why)
+	}
+}
+
+func TestSplitPathSCSG(t *testing.T) {
+	// The rectified scsg recursive rule's single CGP:
+	// parent(X,X1), parent(Y,Y1), same_country(X1,Y1).
+	res, err := lang.Parse(`
+scsg(X, Y) :- parent(X, X1), parent(Y, Y1), same_country(X1, Y1), scsg(X1, Y1).
+scsg(X, Y) :- sibling(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := res.Program.Rules[0]
+	path := []int{0, 1, 2}
+
+	// One country: same_country explodes → split right after
+	// parent(X, X1).
+	m := &Model{Cat: buildCatalog(40, 1)}
+	dec := m.SplitPath(rule, path, map[string]bool{"X": true}, DefaultThresholds)
+	if len(dec.Propagate) != 1 || dec.Propagate[0] != 0 {
+		t.Errorf("propagate = %v, want [0] (parent(X,X1) only)\n%s", dec.Propagate, strings.Join(dec.Rationale, "\n"))
+	}
+	if len(dec.Delayed) != 2 {
+		t.Errorf("delayed = %v, want [1 2]", dec.Delayed)
+	}
+
+	// Many countries (selective same_country): the binding follows
+	// through parent(X,X1) and same_country(X1,Y1). (The output-side
+	// parent(Y,Y1) does not feed the recursive binding, so the model
+	// may delay it either way.)
+	m40 := &Model{Cat: buildCatalog(40, 40)}
+	dec40 := m40.SplitPath(rule, path, map[string]bool{"X": true}, DefaultThresholds)
+	followed := make(map[int]bool)
+	for _, li := range dec40.Propagate {
+		followed[li] = true
+	}
+	if !followed[0] || !followed[2] {
+		t.Errorf("selective case propagate = %v, want at least parent(X,X1) and same_country\n%s",
+			dec40.Propagate, strings.Join(dec40.Rationale, "\n"))
+	}
+}
+
+func TestSplitPathUnconnected(t *testing.T) {
+	// sg's second parent literal is unconnected to the binding until
+	// the recursion returns: SplitPath must classify it delayed.
+	res, err := lang.Parse(`sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := res.Program.Rules[0]
+	m := &Model{Cat: buildCatalog(20, 1)}
+	dec := m.SplitPath(rule, []int{2}, map[string]bool{"X": true}, DefaultThresholds)
+	if len(dec.Propagate) != 0 || len(dec.Delayed) != 1 {
+		t.Errorf("dec = %+v", dec)
+	}
+}
+
+func TestPlanCostMonotone(t *testing.T) {
+	m := &Model{Cat: buildCatalog(20, 2), Depth: 5}
+	if m.PlanCost(1.0) >= m.PlanCost(2.0) {
+		t.Error("PlanCost not monotone in factor")
+	}
+	if m.PlanCost(2.0) >= m.PlanCost(4.0) {
+		t.Error("PlanCost not monotone in factor (2 vs 4)")
+	}
+	// Cap: enormous factors saturate at the domain cap × depth.
+	big := m.PlanCost(1e12)
+	if big > m.domainCap()*float64(m.depth())+1 {
+		t.Errorf("PlanCost not capped: %.0f", big)
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	if fmt.Sprint(Follow) != "follow" || fmt.Sprint(Split) != "split" {
+		t.Error("Choice.String wrong")
+	}
+}

@@ -1,0 +1,95 @@
+package counting
+
+import (
+	"errors"
+	"testing"
+
+	"chainsplit/internal/lang"
+	"chainsplit/internal/term"
+)
+
+func TestMaxContextsBudget(t *testing.T) {
+	ev, _ := setup(t, `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(n0, n1). e(n1, n2). e(n2, n3). e(n3, n4). e(n4, n5).
+`, "tc/2", Options{MaxContexts: 3})
+	q, _ := lang.ParseQuery("?- tc(n0, Y).")
+	_, err := ev.Query(q.Goals[0])
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget (contexts)", err)
+	}
+}
+
+func TestMaxEdgesBudget(t *testing.T) {
+	ev, _ := setup(t, `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(n0, n1). e(n1, n2). e(n2, n3). e(n3, n4). e(n4, n5).
+`, "tc/2", Options{MaxEdges: 2})
+	q, _ := lang.ParseQuery("?- tc(n0, Y).")
+	_, err := ev.Query(q.Goals[0])
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget (edges)", err)
+	}
+}
+
+func TestAccSpecPrunesWithoutExplicitHook(t *testing.T) {
+	// The declarative AccumSpec installs its own prune (RejectsAcc).
+	res, err := lang.Parse(cyclicTravelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	ev, p := setup(t, cyclicTravelSrc, "travel/6", Options{
+		MaxLevels: 1000,
+		Acc: &AccumSpec{
+			IncrementVar: map[int]string{0: findFareVar(t, cyclicTravelSrc)},
+			Bound:        150,
+		},
+	})
+	_ = p
+	q, _ := lang.ParseQuery("?- travel(L, a, DT, A, AT, F).")
+	ans, err := ev.Query(q.Goals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats().Pruned == 0 {
+		t.Error("AccumSpec did not prune")
+	}
+	if len(ans) == 0 {
+		t.Error("no answers survived")
+	}
+}
+
+func TestAccSpecStrict(t *testing.T) {
+	a := &AccumSpec{Bound: 100}
+	if a.RejectsAcc(100) || !a.RejectsAcc(101) {
+		t.Error("non-strict bound wrong")
+	}
+	a.Strict = true
+	if !a.RejectsAcc(100) || a.RejectsAcc(99) {
+		t.Error("strict bound wrong")
+	}
+}
+
+// findFareVar locates the F1 variable name in the rectified travel
+// recursive rule (the increment the telescoped fare sum uses).
+func findFareVar(t *testing.T, src string) string {
+	t.Helper()
+	res, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Program.Rules {
+		for _, b := range r.Body {
+			if b.Pred == "plus" {
+				if v, ok := b.Args[0].(term.Var); ok {
+					return v.Name
+				}
+			}
+		}
+	}
+	t.Fatal("no plus literal found")
+	return ""
+}

@@ -1,0 +1,766 @@
+// Package counting implements the paper's Algorithm 3.2, buffered
+// chain-split evaluation, as a set-oriented evaluator over a compiled
+// linear recursion.
+//
+// The evaluation proceeds in two phases over a *context graph*:
+//
+//   - The down phase starts from the query's bound arguments and
+//     repeatedly evaluates the immediately evaluable portion of each
+//     recursive rule, producing the next level's bound arguments. For
+//     every derivation an *edge* is recorded holding a snapshot of the
+//     variable bindings — these snapshots are exactly the paper's
+//     buffers: "the values of variable X_i's are buffered in the
+//     processing of the being-evaluated portion of a chain generating
+//     path and reused in the processing of its buffered portion"
+//     (Remark 3.1).
+//   - When an exit rule fires at some context, the up phase replays the
+//     buffered edges in reverse, evaluating the delayed portion with
+//     the recursive call's answers bound, propagating answers toward
+//     the root context.
+//
+// Contexts are memoized by (adornment, bound-argument values), so on
+// function-free single chains the context graph degenerates to the
+// counting method's magic-set-with-levels — which is the paper's own
+// observation that buffered evaluation "is similar to counting".
+// Cyclic context graphs (cyclic data) are handled by fixpoint
+// propagation rather than level arithmetic, in the manner of cyclic
+// counting extensions.
+package counting
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"chainsplit/internal/adorn"
+	"chainsplit/internal/builtin"
+	"chainsplit/internal/chain"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/term"
+	"chainsplit/internal/topdown"
+)
+
+// ErrBudget is returned when the down phase exceeds its budget — the
+// runtime signature of a non-terminating chain (e.g. travel on a
+// cyclic flight graph without termination constraints).
+var ErrBudget = errors.New("counting: evaluation budget exceeded")
+
+// Options configures the evaluator.
+type Options struct {
+	// MaxLevels bounds the down-phase BFS depth (0 = 100000).
+	MaxLevels int
+	// MaxContexts bounds the number of distinct contexts (0 = 2e6).
+	MaxContexts int
+	// MaxEdges bounds the number of buffered edges (0 = 5e6).
+	MaxEdges int
+	// MaxAnswers bounds the total number of answers across contexts
+	// (0 = 1e6). A cyclic chain with ever-growing answers (e.g. travel
+	// routes on a cyclic flight graph) trips this budget.
+	MaxAnswers int
+	// Trace records the per-level profile (contexts opened and answers
+	// propagated per level) for the figure experiments.
+	Trace bool
+	// Accumulate, when set, maintains a monotone accumulator per
+	// context: the child's value is Accumulate(parent value, edge
+	// bindings). Used by the constraint-pushing partial evaluator
+	// (Algorithm 3.3).
+	Accumulate func(parent int64, edge term.Subst, ruleIdx int) int64
+	// Prune, when set with Accumulate or Acc, stops down-phase
+	// expansion of any context whose accumulator value it rejects.
+	Prune func(acc int64) bool
+	// Acc declaratively installs an accumulator: per recursive rule,
+	// the (source-program) variable whose per-level value is added.
+	// Ignored when Accumulate is set.
+	Acc *AccumSpec
+}
+
+// AccumSpec declares a monotone down-phase accumulator, the product of
+// the partial evaluation of a delayed plus-chain (Algorithm 3.3): the
+// delayed F = F1 + F2 recurrence telescopes into a running sum of the
+// eval-portion increments F1, which is maintained during the down phase
+// and pruned against the pushed termination constraint.
+type AccumSpec struct {
+	// IncrementVar maps a recursive-rule index to the variable (as
+	// named in the source rule) holding that rule's per-level
+	// increment. Rules without an entry contribute zero.
+	IncrementVar map[int]string
+	// Bound is the pushed constant: contexts with accumulator above it
+	// (or equal, when Strict) are pruned.
+	Bound int64
+	// Strict marks a "<" constraint (prune when acc >= Bound).
+	Strict bool
+}
+
+// RejectsAcc reports whether an accumulated value violates the spec's
+// pushed bound.
+func (a *AccumSpec) RejectsAcc(acc int64) bool {
+	if a.Strict {
+		return acc >= a.Bound
+	}
+	return acc > a.Bound
+}
+
+func (o Options) maxLevels() int {
+	if o.MaxLevels > 0 {
+		return o.MaxLevels
+	}
+	return 100_000
+}
+
+func (o Options) maxContexts() int {
+	if o.MaxContexts > 0 {
+		return o.MaxContexts
+	}
+	return 2_000_000
+}
+
+func (o Options) maxEdges() int {
+	if o.MaxEdges > 0 {
+		return o.MaxEdges
+	}
+	return 5_000_000
+}
+
+func (o Options) maxAnswers() int {
+	if o.MaxAnswers > 0 {
+		return o.MaxAnswers
+	}
+	return 1_000_000
+}
+
+// LevelStats is one row of the trace profile.
+type LevelStats struct {
+	Level    int
+	Contexts int // contexts first reached at this level
+	Edges    int // buffered edges created from this level
+	Answers  int // answers propagated to contexts of this level (up phase)
+}
+
+// Stats reports evaluation effort.
+type Stats struct {
+	Levels    int
+	Contexts  int
+	Edges     int // buffered derivations (the buffer population)
+	Answers   int // total answers across contexts
+	Pruned    int // contexts cut by the Prune hook
+	UpJoins   int // delayed-portion evaluations
+	ExitFires int
+	Profile   []LevelStats
+	// Events is the chronological evaluation log (Trace only): one
+	// line per context opened ("down …") and per answer derived
+	// ("answer …") — the observable form of the paper's worked traces.
+	Events []string
+}
+
+type edge struct {
+	parent  *ctx
+	ruleIdx int
+	// snapshot holds the bindings of the (renamed) rule instance after
+	// the evaluated portion ran — the buffered X_i values.
+	snapshot term.Subst
+}
+
+type ctx struct {
+	id      int
+	key     string // predicate key (pred/arity) — SCCs span predicates
+	ad      string
+	input   []term.Term // values of the 'b' positions of ad
+	level   int
+	acc     int64
+	parents []edge // edges from this context (child) to its parents
+	answers [][]term.Term
+	seen    map[string]bool
+	pruned  bool
+}
+
+// ruleSplit caches the split of one recursive rule under one adornment.
+type ruleSplit struct {
+	split chain.Split
+	rule  program.Rule // renamed-apart instance
+	// incVar is the renamed accumulator increment variable (from
+	// Options.Acc), or "" when this rule contributes no increment.
+	incVar string
+}
+
+// Evaluator runs buffered chain-split evaluation for one compiled
+// recursion (or a whole mutually recursive SCC of them) against one
+// catalog.
+type Evaluator struct {
+	goalKey string
+	comps   map[string]*chain.Compiled // SCC member key → chain form
+	prog    *program.Program
+	an      *adorn.Analysis
+	cat     *relation.Catalog
+	inner   *topdown.Engine
+	idb     map[string]bool
+	opts    Options
+
+	splits    map[string][]ruleSplit    // "pred^ad" → per-rec-rule splits
+	exitOrder map[string][][]int        // "pred^ad" → per-exit-rule schedule
+	exitRules map[string][]program.Rule // pred key → renamed-apart exit instances
+
+	ctxs    map[string]*ctx
+	ordered []*ctx
+	pending []workItem
+	stats   Stats
+}
+
+// workItem is one unit of up-phase propagation: replay answer ans of a
+// child context through buffered edge e.
+type workItem struct {
+	e   edge
+	ans []term.Term
+}
+
+// New prepares an evaluator. prog must be rectified; comp must be the
+// chain form of the queried predicate; cat holds the EDB (program facts
+// are loaded into it). When the queried predicate is mutually
+// recursive, the chain forms of the other SCC members are compiled too
+// and the context graph spans the whole SCC.
+func New(prog *program.Program, cat *relation.Catalog, comp *chain.Compiled, opts Options) *Evaluator {
+	ev := &Evaluator{
+		goalKey:   comp.Key(),
+		comps:     map[string]*chain.Compiled{comp.Key(): comp},
+		prog:      prog,
+		an:        adorn.NewAnalysis(prog),
+		cat:       cat,
+		inner:     topdown.New(prog, cat, topdown.Options{}),
+		idb:       prog.IDB(),
+		opts:      opts,
+		splits:    make(map[string][]ruleSplit),
+		exitOrder: make(map[string][][]int),
+		exitRules: make(map[string][]program.Rule),
+		ctxs:      make(map[string]*ctx),
+	}
+	// Pull in the rest of the goal's SCC (mutual recursion).
+	g := ev.an.Graph()
+	if id := g.SCCOf(comp.Key()); id >= 0 {
+		for _, member := range g.SCCs[id] {
+			if _, ok := ev.comps[member]; ok {
+				continue
+			}
+			if mc, err := chain.Compile(prog, g, member); err == nil {
+				ev.comps[member] = mc
+			}
+		}
+	}
+	rn := term.NewRenamer("_B")
+	for key, c := range ev.comps {
+		for _, er := range c.ExitRules {
+			ev.exitRules[key] = append(ev.exitRules[key], er.Rename(rn))
+		}
+	}
+	return ev
+}
+
+// Stats returns accumulated statistics.
+func (ev *Evaluator) Stats() *Stats { return &ev.stats }
+
+// splitsFor computes (and caches) the chain-splits of the recursive
+// rules of predicate key under adornment ad.
+func (ev *Evaluator) splitsFor(key, ad string) ([]ruleSplit, error) {
+	cacheKey := key + "^" + ad
+	if s, ok := ev.splits[cacheKey]; ok {
+		return s, nil
+	}
+	comp := ev.comps[key]
+	if comp == nil {
+		return nil, fmt.Errorf("counting: no chain form for %s", key)
+	}
+	rn := term.NewRenamer("_B")
+	out := make([]ruleSplit, 0, len(comp.RecRules))
+	for ri, rr := range comp.RecRules {
+		if len(rr.RecIdx) != 1 {
+			return nil, fmt.Errorf("counting: buffered evaluation requires linear rules; %s has %d recursive literals", rr.Rule, len(rr.RecIdx))
+		}
+		sp, err := chain.ComputeSplit(ev.an, rr, ad)
+		if err != nil {
+			return nil, err
+		}
+		inst := rr.Rule.Rename(rn)
+		rs := ruleSplit{split: sp, rule: inst}
+		// Accumulators apply to the goal predicate's rules only (the
+		// partial evaluator analyses a single compiled recursion).
+		if ev.opts.Acc != nil && key == ev.goalKey {
+			if orig, ok := ev.opts.Acc.IncrementVar[ri]; ok && orig != "" {
+				if rv, ok := rn.Renamed(orig); ok {
+					rs.incVar = rv.Name
+				}
+			}
+		}
+		out = append(out, rs)
+	}
+	ev.splits[cacheKey] = out
+	return out, nil
+}
+
+// exitOrderFor schedules the exit rules of predicate key under
+// adornment ad.
+func (ev *Evaluator) exitOrderFor(key, ad string) ([][]int, error) {
+	cacheKey := key + "^" + ad
+	if o, ok := ev.exitOrder[cacheKey]; ok {
+		return o, nil
+	}
+	rules := ev.exitRules[key]
+	out := make([][]int, len(rules))
+	for i, er := range rules {
+		sched := ev.an.ScheduleRule(er, ad)
+		if !sched.OK {
+			return nil, &chain.NotFinitelyEvaluableError{
+				Rule: er, Adornment: ad, Stuck: sched.Stuck, UnboundHead: sched.UnboundHead,
+			}
+		}
+		out[i] = sched.Order
+	}
+	ev.exitOrder[cacheKey] = out
+	return out, nil
+}
+
+func boundPositions(ad string) []int {
+	var out []int
+	for i := 0; i < len(ad); i++ {
+		if ad[i] == 'b' {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ctxKey identifies a context. When an accumulator is active the value
+// participates in identity: contexts reached along paths with different
+// accumulated values must not be conflated, or a pruned first arrival
+// would wrongly cut a cheaper later path. Accumulator monotonicity plus
+// the prune bound keeps the key space finite.
+func ctxKey(key, ad string, input []term.Term, withAcc bool, acc int64) string {
+	var kb []byte
+	kb = append(kb, key...)
+	kb = append(kb, '^')
+	kb = append(kb, ad...)
+	for _, t := range input {
+		kb = term.AppendKey(kb, t)
+	}
+	if withAcc {
+		kb = append(kb, '#')
+		kb = term.AppendKey(kb, term.NewInt(acc))
+	}
+	return string(kb)
+}
+
+// Query evaluates the goal (whose predicate must be the compiled one)
+// and returns the answer tuples: full head argument vectors matching
+// the goal's ground arguments.
+func (ev *Evaluator) Query(goal program.Atom) ([][]term.Term, error) {
+	if goal.Key() != ev.goalKey {
+		return nil, fmt.Errorf("counting: goal %s does not match compiled %s", goal.Key(), ev.goalKey)
+	}
+	ad := adorn.GoalAdornment(goal)
+	if !strings.ContainsRune(ad, 'b') {
+		return nil, fmt.Errorf("counting: buffered evaluation needs at least one bound argument (adornment %s)", ad)
+	}
+	var input []term.Term
+	for _, i := range boundPositions(ad) {
+		input = append(input, goal.Args[i])
+	}
+	root, err := ev.down(ev.goalKey, ad, input)
+	if err != nil {
+		return nil, err
+	}
+	// Filter root answers by the goal's ground arguments (defensive;
+	// bound positions already match by construction).
+	var out [][]term.Term
+	for _, ans := range root.answers {
+		ok := true
+		for i, a := range goal.Args {
+			if a.Ground() && !term.Equal(a, ans[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, ans)
+		}
+	}
+	return out, nil
+}
+
+// down runs the down phase from the root context, firing exits and the
+// up phase along the way.
+func (ev *Evaluator) down(key, ad string, input []term.Term) (*ctx, error) {
+	root, _, err := ev.ensureCtx(key, ad, input, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	frontier := []*ctx{root}
+	for level := 0; len(frontier) > 0; level++ {
+		if level > ev.opts.maxLevels() {
+			return nil, fmt.Errorf("%w: down phase exceeded %d levels", ErrBudget, ev.opts.maxLevels())
+		}
+		ev.stats.Levels = level
+		var next []*ctx
+		for _, c := range frontier {
+			if c.pruned {
+				continue
+			}
+			children, err := ev.expand(c, level)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, children...)
+		}
+		// Up phase: drain the propagation worklist before descending
+		// further (answers may prune or satisfy lower levels earlier,
+		// and cyclic context graphs need fixpoint draining anyway).
+		if err := ev.drain(); err != nil {
+			return nil, err
+		}
+		frontier = next
+	}
+	if err := ev.drain(); err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+// drain processes the up-phase worklist to exhaustion.
+func (ev *Evaluator) drain() error {
+	for len(ev.pending) > 0 {
+		item := ev.pending[len(ev.pending)-1]
+		ev.pending = ev.pending[:len(ev.pending)-1]
+		if err := ev.propagate(item.e, item.ans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureCtx returns the context for (key, ad, input), creating it (and
+// firing its exit rules) if new. The second result reports creation.
+func (ev *Evaluator) ensureCtx(key, ad string, input []term.Term, level int, acc int64) (*ctx, bool, error) {
+	ck := ctxKey(key, ad, input, ev.opts.Accumulate != nil || ev.opts.Acc != nil, acc)
+	if c, ok := ev.ctxs[ck]; ok {
+		return c, false, nil
+	}
+	if len(ev.ctxs) >= ev.opts.maxContexts() {
+		return nil, false, fmt.Errorf("%w: more than %d contexts", ErrBudget, ev.opts.maxContexts())
+	}
+	c := &ctx{id: len(ev.ctxs), key: key, ad: ad, input: input, level: level, acc: acc, seen: make(map[string]bool)}
+	ev.ctxs[ck] = c
+	ev.ordered = append(ev.ordered, c)
+	ev.stats.Contexts++
+	if ev.opts.Trace {
+		ev.traceLevel(level).Contexts++
+		ev.stats.Events = append(ev.stats.Events,
+			fmt.Sprintf("down L%d %s^%s %s", level, key, ad, termsString(input)))
+	}
+	prune := ev.opts.Prune
+	if prune == nil && ev.opts.Acc != nil {
+		prune = ev.opts.Acc.RejectsAcc
+	}
+	if prune != nil && prune(acc) {
+		c.pruned = true
+		ev.stats.Pruned++
+		return c, true, nil
+	}
+	if err := ev.fireExits(c); err != nil {
+		return nil, false, err
+	}
+	return c, true, nil
+}
+
+func (ev *Evaluator) traceLevel(level int) *LevelStats {
+	for len(ev.stats.Profile) <= level {
+		ev.stats.Profile = append(ev.stats.Profile, LevelStats{Level: len(ev.stats.Profile)})
+	}
+	return &ev.stats.Profile[level]
+}
+
+// expand evaluates the evaluated portion of every recursive rule at
+// context c, creating child contexts and buffered edges.
+func (ev *Evaluator) expand(c *ctx, level int) ([]*ctx, error) {
+	splits, err := ev.splitsFor(c.key, c.ad)
+	if err != nil {
+		return nil, err
+	}
+	var created []*ctx
+	for ri, rs := range splits {
+		s := term.NewSubst()
+		if !unifyBound(s, rs.rule.Head, c.ad, c.input) {
+			continue
+		}
+		sols, err := ev.evalPortion(rs.split.Eval, rs.rule, s)
+		if err != nil {
+			return nil, err
+		}
+		recLit := rs.rule.Body[ev.recIdxOf(c.key, ri)]
+		childBound := boundPositions(rs.split.RecAd)
+		for _, sol := range sols {
+			var childInput []term.Term
+			ground := true
+			for _, bi := range childBound {
+				v := sol.Resolve(recLit.Args[bi])
+				if !v.Ground() {
+					ground = false
+					break
+				}
+				childInput = append(childInput, v)
+			}
+			if !ground {
+				return nil, fmt.Errorf("counting: recursive call %s not ground at bound positions under %s", recLit.Resolve(sol), rs.split.RecAd)
+			}
+			acc := c.acc
+			switch {
+			case ev.opts.Accumulate != nil:
+				acc = ev.opts.Accumulate(c.acc, sol, ri)
+			case rs.incVar != "":
+				if iv, ok := sol.Resolve(term.NewVar(rs.incVar)).(term.Int); ok {
+					acc = c.acc + iv.V
+				}
+			}
+			child, isNew, err := ev.ensureCtx(recLit.Key(), rs.split.RecAd, childInput, level+1, acc)
+			if err != nil {
+				return nil, err
+			}
+			if child.pruned {
+				continue
+			}
+			if ev.stats.Edges >= ev.opts.maxEdges() {
+				return nil, fmt.Errorf("%w: more than %d buffered edges", ErrBudget, ev.opts.maxEdges())
+			}
+			e := edge{parent: c, ruleIdx: ri, snapshot: sol}
+			child.parents = append(child.parents, e)
+			ev.stats.Edges++
+			if ev.opts.Trace {
+				ev.traceLevel(level).Edges++
+			}
+			// Replay existing answers of a shared child through the
+			// new edge.
+			for _, ans := range child.answers {
+				ev.pending = append(ev.pending, workItem{e: e, ans: ans})
+			}
+			if isNew {
+				created = append(created, child)
+			}
+		}
+	}
+	return created, nil
+}
+
+// recIdxOf returns the body index of the recursive literal of rec rule
+// ri of predicate key (linear recursion: exactly one).
+func (ev *Evaluator) recIdxOf(key string, ri int) int {
+	return ev.comps[key].RecRules[ri].RecIdx[0]
+}
+
+// fireExits evaluates the exit rules at context c, seeding answers.
+// Ground facts of the predicate (e.g. "isort([], [])." parsed as a
+// fact rather than a rule) act as exit knowledge too.
+func (ev *Evaluator) fireExits(c *ctx) error {
+	comp := ev.comps[c.key]
+	if rel := ev.cat.Get(comp.Pred); rel != nil && rel.Arity() == comp.Arity {
+		cols := boundPositions(c.ad)
+		for _, tup := range rel.LookupOn(cols, relation.Tuple(c.input)) {
+			ev.stats.ExitFires++
+			if err := ev.addAnswer(c, []term.Term(tup)); err != nil {
+				return err
+			}
+		}
+	}
+	orders, err := ev.exitOrderFor(c.key, c.ad)
+	if err != nil {
+		return err
+	}
+	for i, er := range ev.exitRules[c.key] {
+		s := term.NewSubst()
+		if !unifyBound(s, er.Head, c.ad, c.input) {
+			continue
+		}
+		var lits []int = orders[i]
+		sols, err := ev.evalPortion(lits, er, s)
+		if err != nil {
+			return err
+		}
+		for _, sol := range sols {
+			ev.stats.ExitFires++
+			ans := sol.ResolveAll(er.Head.Args)
+			if err := ev.addAnswer(c, ans); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addAnswer records an answer at c and enqueues its propagation
+// through all buffered edges toward the root.
+func (ev *Evaluator) addAnswer(c *ctx, ans []term.Term) error {
+	for _, a := range ans {
+		if !a.Ground() {
+			return fmt.Errorf("counting: non-ground answer %v at context %s", ans, c.ad)
+		}
+	}
+	var kb []byte
+	for _, a := range ans {
+		kb = term.AppendKey(kb, a)
+	}
+	k := string(kb)
+	if c.seen[k] {
+		return nil
+	}
+	c.seen[k] = true
+	c.answers = append(c.answers, ans)
+	ev.stats.Answers++
+	if ev.opts.Trace {
+		ev.stats.Events = append(ev.stats.Events,
+			fmt.Sprintf("answer L%d %s %s", c.level, c.key, termsString(ans)))
+	}
+	if ev.stats.Answers > ev.opts.maxAnswers() {
+		return fmt.Errorf("%w: more than %d answers (non-terminating chain?)", ErrBudget, ev.opts.maxAnswers())
+	}
+	if ev.opts.Trace {
+		ev.traceLevel(c.level).Answers++
+	}
+	for _, e := range c.parents {
+		ev.pending = append(ev.pending, workItem{e: e, ans: ans})
+	}
+	return nil
+}
+
+// propagate replays one answer of a child context through edge e: the
+// buffered bindings are restored, the recursive call's answer is bound,
+// the delayed portion runs, and the parent's answer is derived.
+func (ev *Evaluator) propagate(e edge, ans []term.Term) error {
+	splits := ev.splits[e.parent.key+"^"+e.parent.ad]
+	rs := splits[e.ruleIdx]
+	recLit := rs.rule.Body[ev.recIdxOf(e.parent.key, e.ruleIdx)]
+	s := e.snapshot.Clone()
+	for i, a := range ans {
+		if !term.Unify(s, recLit.Args[i], a) {
+			return nil // answer incompatible with this edge
+		}
+	}
+	ev.stats.UpJoins++
+	sols, err := ev.evalPortion(rs.split.Delayed, rs.rule, s)
+	if err != nil {
+		return err
+	}
+	for _, sol := range sols {
+		parentAns := sol.ResolveAll(rs.rule.Head.Args)
+		if err := ev.addAnswer(e.parent, parentAns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPortion evaluates the given body literals (by index, in order)
+// under s, returning all solutions.
+func (ev *Evaluator) evalPortion(lits []int, r program.Rule, s term.Subst) ([]term.Subst, error) {
+	sols := []term.Subst{s}
+	for _, li := range lits {
+		lit := r.Body[li]
+		var next []term.Subst
+		for _, cur := range sols {
+			ext, err := ev.solveLit(lit, cur)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, ext...)
+		}
+		sols = next
+		if len(sols) == 0 {
+			return nil, nil
+		}
+	}
+	return sols, nil
+}
+
+// solveLit evaluates one literal: builtin, EDB lookup, or nested IDB
+// via the inner tabled engine. Negated literals are tests (solved
+// positively and inverted).
+func (ev *Evaluator) solveLit(lit program.Atom, s term.Subst) ([]term.Subst, error) {
+	if lit.Negated {
+		sols, err := ev.solveLit(lit.Positive(), s)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) > 0 {
+			return nil, nil
+		}
+		return []term.Subst{s}, nil
+	}
+	if b := builtin.Lookup(lit.Pred, lit.Arity()); b != nil {
+		sols, err := b.Eval(s, lit.Args)
+		if err != nil {
+			return nil, fmt.Errorf("counting: %s: %w", lit.Resolve(s), err)
+		}
+		return sols, nil
+	}
+	if rel := ev.cat.Get(lit.Pred); rel != nil && rel.Arity() == lit.Arity() && !ev.idb[lit.Key()] {
+		return matchRelation(rel, lit, s)
+	}
+	return ev.inner.SolveUnder(lit, s)
+}
+
+func matchRelation(rel *relation.Relation, g program.Atom, s term.Subst) ([]term.Subst, error) {
+	var cols []int
+	var vals relation.Tuple
+	resolved := make([]term.Term, len(g.Args))
+	for i, a := range g.Args {
+		ra := s.Resolve(a)
+		resolved[i] = ra
+		if ra.Ground() {
+			cols = append(cols, i)
+			vals = append(vals, ra)
+		}
+	}
+	var candidates []relation.Tuple
+	if len(cols) > 0 {
+		candidates = rel.LookupOn(cols, vals)
+	} else {
+		candidates = rel.Tuples()
+	}
+	var out []term.Subst
+	for _, tup := range candidates {
+		sol := s.Clone()
+		ok := true
+		for i, a := range resolved {
+			if a.Ground() {
+				continue
+			}
+			if !term.Unify(sol, a, tup[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, sol)
+		}
+	}
+	return out, nil
+}
+
+// termsString renders a term vector compactly for the event log.
+func termsString(ts []term.Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// unifyBound unifies the head's bound-position arguments with the
+// context input values.
+func unifyBound(s term.Subst, head program.Atom, ad string, input []term.Term) bool {
+	j := 0
+	for i := 0; i < len(ad); i++ {
+		if ad[i] != 'b' {
+			continue
+		}
+		if !term.Unify(s, head.Args[i], input[j]) {
+			return false
+		}
+		j++
+	}
+	return true
+}

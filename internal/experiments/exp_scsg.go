@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "T2",
+		Title:    "scsg: chain-split vs chain-following magic sets as same_country densifies",
+		PaperRef: "Example 1.2 and §3.1 (Algorithm 3.1)",
+		Run:      runT2,
+	})
+	register(Experiment{
+		ID:       "F1",
+		Title:    "scsg per-iteration delta profile: split stays flat, follow explodes",
+		PaperRef: "Example 1.2 (cross-product magic sets)",
+		Run:      runF1,
+	})
+}
+
+func runT2(cfg Config) error {
+	e, _ := Lookup("T2")
+	header(cfg.Out, e)
+	countries := []int{1, 2, 4, 8, 16}
+	gens, fanout := 4, 3
+	if cfg.Quick {
+		countries = []int{1, 4}
+		gens, fanout = 3, 2
+	}
+	t := newTable(cfg.Out, "countries", "policy", "answers", "magic", "derived", "time", "chosen-by-cost")
+	for _, c := range countries {
+		fam := workload.Family(workload.FamilyConfig{Generations: gens, Fanout: fanout, Roots: 1, Countries: c, Seed: 11})
+		goal := fmt.Sprintf("?- scsg(%s, Y).", workload.PersonName(gens, 0))
+
+		type out struct {
+			strat core.Strategy
+			res   *core.Result
+		}
+		var outs []out
+		for _, strat := range []core.Strategy{core.StrategyMagicFollow, core.StrategyMagicSplit, core.StrategyMagic} {
+			db, err := buildDB(workload.SCSGRules(), fam)
+			if err != nil {
+				return err
+			}
+			res, err := run(db, goal, core.Options{Strategy: strat})
+			if err != nil {
+				return err
+			}
+			outs = append(outs, out{strat, res})
+		}
+		// What did the cost policy actually decide for same_country?
+		costChoice := "-"
+		for _, d := range outs[2].res.Plan.Decisions {
+			if len(d.Literal) >= 12 && d.Literal[:12] == "same_country" {
+				costChoice = d.Choice.String()
+				break
+			}
+		}
+		for i, o := range outs {
+			choice := "-"
+			if i == 2 {
+				choice = costChoice
+			}
+			t.row(c, o.strat, len(o.res.Answers), o.res.Metrics.MagicTuples,
+				o.res.Metrics.DerivedTuples, ms(o.res.Metrics.Duration), choice)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(cfg.Out, "\nexpected shape: with few countries (dense same_country) the follow\n"+
+		"policy's magic set degenerates toward a cross product and split wins\n"+
+		"by a growing factor; the cost policy (Algorithm 3.1) picks split\n"+
+		"exactly in those configurations and follow when same_country is\n"+
+		"selective.")
+	return nil
+}
+
+func runF1(cfg Config) error {
+	e, _ := Lookup("F1")
+	header(cfg.Out, e)
+	gens, fanout := 4, 3
+	if cfg.Quick {
+		gens, fanout = 3, 2
+	}
+	for _, c := range []int{1, 8} {
+		fam := workload.Family(workload.FamilyConfig{Generations: gens, Fanout: fanout, Roots: 1, Countries: c, Seed: 11})
+		goal := fmt.Sprintf("?- scsg(%s, Y).", workload.PersonName(gens, 0))
+		fmt.Fprintf(cfg.Out, "countries = %d\n", c)
+		t := newTable(cfg.Out, "policy", "total", "iteration-deltas (tuples derived per semi-naive round)")
+		for _, strat := range []core.Strategy{core.StrategyMagicFollow, core.StrategyMagicSplit} {
+			db, err := buildDB(workload.SCSGRules(), fam)
+			if err != nil {
+				return err
+			}
+			res, err := run(db, goal, core.Options{Strategy: strat, TraceDeltas: true})
+			if err != nil {
+				return err
+			}
+			var series []int
+			total := 0
+			for _, d := range res.Metrics.Deltas {
+				n := 0
+				for _, v := range d.DeltaSizes {
+					n += v
+				}
+				series = append(series, n)
+				total += n
+			}
+			t.row(strat, total, fmt.Sprint(series))
+		}
+		t.flush()
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintln(cfg.Out, "expected shape: with countries=1 the follow profile derives\n"+
+		"substantially more tuples in total — its magic rounds carry whole\n"+
+		"same-country generations (the 27/81 spikes) where split's magic rounds\n"+
+		"stay at one tuple per level; with countries=8 the profiles converge.")
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "T1",
+		Title:    "sg compiles to a 2-chain recursion; magic sets focus the evaluation",
+		PaperRef: "Example 1.1, §1: compiled chain forms and chain-based evaluation",
+		Run:      runT1,
+	})
+	register(Experiment{
+		ID:       "T9",
+		Title:    "method comparison on the single-source sg query",
+		PaperRef: "§3: TC/magic/counting-style methods on function-free chains",
+		Run:      runT9,
+	})
+}
+
+func runT1(cfg Config) error {
+	e, _ := Lookup("T1")
+	header(cfg.Out, e)
+	gens := []int{4, 6, 8}
+	if cfg.Quick {
+		gens = []int{3, 4}
+	}
+	t := newTable(cfg.Out, "generations", "people", "method", "answers", "derived", "magic", "time")
+	for _, g := range gens {
+		fam := workload.Family(workload.FamilyConfig{Generations: g, Fanout: 2, Roots: 1, Countries: 1, Seed: 1})
+		people := 1<<(g+1) - 1
+		goal := fmt.Sprintf("?- sg(%s, Y).", workload.PersonName(g, 0))
+		for _, strat := range []core.Strategy{core.StrategySeminaive, core.StrategyMagic} {
+			db, err := buildDB(workload.SGRules(), fam)
+			if err != nil {
+				return err
+			}
+			res, err := run(db, goal, core.Options{Strategy: strat})
+			if err != nil {
+				return err
+			}
+			t.row(g, people, strat, len(res.Answers), res.Metrics.DerivedTuples,
+				res.Metrics.MagicTuples, ms(res.Metrics.Duration))
+		}
+	}
+	t.flush()
+	fmt.Fprintln(cfg.Out, "\nexpected shape: magic derives far fewer tuples than full seminaive\n"+
+		"on a single-source query, at equal answer sets.")
+	return nil
+}
+
+func runT9(cfg Config) error {
+	e, _ := Lookup("T9")
+	header(cfg.Out, e)
+	g := 7
+	if cfg.Quick {
+		g = 4
+	}
+	fam := workload.Family(workload.FamilyConfig{Generations: g, Fanout: 2, Roots: 1, Countries: 1, Seed: 1})
+	goal := fmt.Sprintf("?- sg(%s, Y).", workload.PersonName(g, 0))
+	t := newTable(cfg.Out, "method", "answers", "derived", "magic", "contexts", "steps", "time")
+	for _, strat := range []core.Strategy{
+		core.StrategySeminaive, core.StrategyMagicFollow, core.StrategyMagic,
+		core.StrategyBuffered, core.StrategyTopDown,
+	} {
+		db, err := buildDB(workload.SGRules(), fam)
+		if err != nil {
+			return err
+		}
+		res, err := run(db, goal, core.Options{Strategy: strat})
+		if err != nil {
+			return err
+		}
+		t.row(strat, len(res.Answers), res.Metrics.DerivedTuples, res.Metrics.MagicTuples,
+			res.Metrics.Contexts, res.Metrics.Steps, ms(res.Metrics.Duration))
+	}
+	t.flush()
+	fmt.Fprintln(cfg.Out, "\nexpected shape: every goal-directed method (magic, buffered=counting,\n"+
+		"topdown) beats full seminaive; buffered evaluation's context graph is\n"+
+		"the counting method's level-indexed magic set on this workload.")
+	return nil
+}

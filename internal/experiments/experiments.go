@@ -1,0 +1,172 @@
+// Package experiments implements the reproduction's evaluation suite:
+// one experiment per table/figure reconstructed from the paper (see
+// DESIGN.md §2 for the mapping). Each experiment builds a workload,
+// runs the paper's method against the baseline it argues against, and
+// prints a table; figure experiments print series.
+//
+// The cmd/benchtab binary and the repository-root benchmarks both
+// drive this package, so the published numbers and the go-test benches
+// come from the same code paths.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/term"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Out receives the formatted table.
+	Out io.Writer
+	// Quick shrinks workload sizes (used by -quick and unit tests).
+	Quick bool
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the experiment identifier (T1…T9, F1…F3).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperRef anchors the experiment in the paper.
+	PaperRef string
+	// Run executes the experiment and prints its table.
+	Run func(cfg Config) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the experiments in ID order: tables (T*), then figures
+// (F*), then ablations (A*).
+func All() []Experiment {
+	rank := func(c byte) int {
+		switch c {
+		case 'T':
+			return 0
+		case 'F':
+			return 1
+		default:
+			return 2
+		}
+	}
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if rank(a[0]) != rank(b[0]) {
+			return rank(a[0]) < rank(b[0])
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+// buildDB assembles a database from rule text and fact programs.
+func buildDB(rules string, facts ...*program.Program) (*core.DB, error) {
+	res, err := lang.Parse(rules)
+	if err != nil {
+		return nil, err
+	}
+	db := core.NewDB()
+	db.Load(res.Program)
+	for _, f := range facts {
+		db.Load(f)
+	}
+	return db, nil
+}
+
+// run executes one query and returns the result (timing is inside
+// Result.Metrics.Duration).
+func run(db *core.DB, query string, opts core.Options) (*core.Result, error) {
+	goals, err := lang.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.Query(goals.Goals, opts)
+}
+
+// table is a tiny aligned-table printer.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer, headers ...interface{}) *table {
+	t := &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)}
+	t.row(headers...)
+	line := make([]interface{}, len(headers))
+	for i, h := range headers {
+		s := fmt.Sprint(h)
+		dashes := make([]byte, len(s))
+		for j := range dashes {
+			dashes[j] = '-'
+		}
+		line[i] = string(dashes)
+	}
+	t.row(line...)
+	return t
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+// ms formats a duration in milliseconds with sub-ms precision.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000.0)
+}
+
+// nowMS returns a monotonic timestamp in fractional milliseconds, for
+// timing spans that do not go through core.Result.
+var epoch = time.Now()
+
+func nowMS() float64 { return float64(time.Since(epoch).Microseconds()) / 1000.0 }
+
+// coreOptions returns default execution options.
+func coreOptions() core.Options { return core.Options{} }
+
+// fareOf extracts the travel fare (6th argument) from an answer tuple.
+func fareOf(a []term.Term) (int64, bool) {
+	if len(a) != 6 {
+		return 0, false
+	}
+	iv, ok := a[5].(term.Int)
+	return iv.V, ok
+}
+
+// header prints the experiment banner.
+func header(out io.Writer, e Experiment) {
+	fmt.Fprintf(out, "\n== %s: %s ==\n", e.ID, e.Title)
+	fmt.Fprintf(out, "   (%s)\n\n", e.PaperRef)
+}

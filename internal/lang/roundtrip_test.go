@@ -1,0 +1,138 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"chainsplit/internal/program"
+	"chainsplit/internal/term"
+)
+
+// genTerm builds a random term whose printed form is re-parseable.
+func genTerm(rng *rand.Rand, depth int) term.Term {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return term.NewInt(int64(rng.Intn(41) - 20))
+		case 1:
+			return term.NewSym(fmt.Sprintf("a%d", rng.Intn(6)))
+		case 2:
+			return term.NewVar(fmt.Sprintf("V%d", rng.Intn(4)))
+		default:
+			return term.NewStr(fmt.Sprintf("s%d\n\"q\"", rng.Intn(3)))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n := rng.Intn(3)
+		elems := make([]term.Term, n)
+		for i := range elems {
+			elems[i] = genTerm(rng, depth-1)
+		}
+		if rng.Intn(3) == 0 && n > 0 {
+			// partial list with a variable tail
+			var t term.Term = term.NewVar("T")
+			for i := n - 1; i >= 0; i-- {
+				t = term.Cons(elems[i], t)
+			}
+			return t
+		}
+		return term.List(elems...)
+	case 1:
+		n := 1 + rng.Intn(3)
+		args := make([]term.Term, n)
+		for i := range args {
+			args[i] = genTerm(rng, depth-1)
+		}
+		return term.NewComp(fmt.Sprintf("f%d", rng.Intn(3)), args...)
+	default:
+		return genTerm(rng, 0)
+	}
+}
+
+// genRule builds a random rule with a safe shape (head vars may dangle
+// — we only test the parser here, not evaluation).
+func genRule(rng *rand.Rand) program.Rule {
+	head := program.NewAtom(fmt.Sprintf("h%d", rng.Intn(3)),
+		genTerm(rng, 2), genTerm(rng, 1))
+	n := rng.Intn(4)
+	body := make([]program.Atom, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			body = append(body, program.NewAtom("=", genTerm(rng, 1), genTerm(rng, 1)))
+		case 1:
+			body = append(body, program.NewAtom("<", term.NewVar("V0"), term.NewInt(int64(rng.Intn(9)))))
+		case 2:
+			neg := program.NewAtom(fmt.Sprintf("b%d", rng.Intn(3)), genTerm(rng, 1))
+			body = append(body, neg.Negate())
+		default:
+			body = append(body, program.NewAtom(fmt.Sprintf("b%d", rng.Intn(3)),
+				genTerm(rng, 2), genTerm(rng, 1)))
+		}
+	}
+	return program.Rule{Head: head, Body: body}
+}
+
+// TestPrintParseRoundTrip checks print ∘ parse = identity on printed
+// random programs: parse(print(P)) prints identically.
+func TestPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		p := &program.Program{}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			p.AddRule(genRule(rng))
+		}
+		printed := p.String()
+		res, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, printed)
+		}
+		reprinted := res.Program.String()
+		if reprinted != printed {
+			t.Fatalf("trial %d: round trip mismatch:\n--- printed ---\n%s--- reprinted ---\n%s", trial, printed, reprinted)
+		}
+	}
+}
+
+// TestQueryRoundTrip does the same for queries.
+func TestQueryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		goal := program.NewAtom(fmt.Sprintf("g%d", rng.Intn(3)), genTerm(rng, 2), genTerm(rng, 1))
+		q := Query{Goals: []program.Atom{goal}}
+		printed := q.String()
+		parsed, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, printed)
+		}
+		if parsed.String() != printed {
+			t.Fatalf("trial %d: query round trip mismatch: %q vs %q", trial, parsed.String(), printed)
+		}
+	}
+}
+
+// TestParserRejectsJunkPrefixes feeds truncations of a valid program:
+// the parser must return an error (never panic) on every strict prefix
+// that is not itself valid.
+func TestParserRejectsJunkPrefixes(t *testing.T) {
+	src := `travel(L, D) :- flight(F, D), \+ closed(D), cons(F, [], L).
+closed(yyz).
+?- travel(L, yvr), L \= [].
+`
+	for i := 0; i <= len(src); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on prefix %d: %v", i, r)
+				}
+			}()
+			_, _ = Parse(src[:i])
+		}()
+	}
+	if !strings.Contains(src, "\\+") {
+		t.Fatal("test source lost its negation")
+	}
+}

@@ -1,0 +1,649 @@
+// Package magic implements the magic-sets rewriting with the paper's
+// chain-split modification to the binding propagation rule
+// (Algorithm 3.1, efficiency-based chain-split magic sets).
+//
+// Classic magic sets propagate the query binding through every body
+// connection reachable from bound variables. On recursions like the
+// paper's scsg this merges the chain generating path's connections into
+// the magic predicate and the magic set degenerates toward a
+// cross-product (Example 1.2). The modified propagation rule consults
+// the join expansion ratio of each connection: above the chain-split
+// threshold the binding is NOT propagated (the connection moves to the
+// delayed portion, evaluated as part of the answer join); below the
+// chain-following threshold it is propagated; in between a quantitative
+// plan comparison decides. The rewritten program is then evaluated
+// semi-naively, exactly as the paper prescribes.
+package magic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chainsplit/internal/adorn"
+	"chainsplit/internal/builtin"
+	"chainsplit/internal/cost"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/term"
+)
+
+// Policy selects the binding propagation rule.
+type Policy int
+
+const (
+	// PolicyCost is Algorithm 3.1: thresholds plus quantitative
+	// analysis (requires a cost.Model).
+	PolicyCost Policy = iota
+	// PolicyFollow is classic magic sets: always propagate (the
+	// baseline the paper argues against).
+	PolicyFollow
+	// PolicySplit never propagates through EDB connections beyond the
+	// first (ablation: maximal splitting).
+	PolicySplit
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyCost:
+		return "cost-based"
+	case PolicyFollow:
+		return "follow-all"
+	case PolicySplit:
+		return "split-all"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures the rewrite.
+type Config struct {
+	Policy     Policy
+	Model      *cost.Model     // required for PolicyCost
+	Thresholds cost.Thresholds // zero value → cost.DefaultThresholds
+	// Supplementary factors shared join prefixes into supplementary
+	// predicates (sup$…), so rules with several IDB body literals do
+	// not re-evaluate the same prefix once per magic rule plus once in
+	// the answer rule. Purely an optimization: answer sets are
+	// identical either way (the A1 ablation experiment measures it).
+	Supplementary bool
+}
+
+// SupName returns the relation name of the i-th supplementary
+// predicate of rule ruleIdx of the adorned predicate.
+func SupName(pred, ad string, ruleIdx, i int) string {
+	return fmt.Sprintf("sup$%s@%s$%d_%d", pred, ad, ruleIdx, i)
+}
+
+func (c Config) thresholds() cost.Thresholds {
+	if c.Thresholds == (cost.Thresholds{}) {
+		return cost.DefaultThresholds
+	}
+	return c.Thresholds
+}
+
+// AdornedName returns the relation name of the adorned predicate.
+func AdornedName(pred, ad string) string { return pred + "@" + ad }
+
+// MagicName returns the relation name of the magic predicate.
+func MagicName(pred, ad string) string { return "m$" + pred + "@" + ad }
+
+// Decision records one propagation decision for Explain output.
+type Decision struct {
+	Rule      string
+	Literal   string
+	Expansion float64
+	Choice    cost.Choice
+	Why       string
+}
+
+// Rewritten is the result of the transform.
+type Rewritten struct {
+	// Program contains the adorned/magic rules plus the magic seed
+	// fact; evaluate it with seminaive against the EDB catalog.
+	Program *program.Program
+	// AnswerPred is the adorned relation holding the query answers.
+	AnswerPred string
+	// GoalAd is the adornment of the query goal.
+	GoalAd string
+	// Decisions lists the propagation decisions taken (PolicyCost).
+	Decisions []Decision
+	// AdornedPreds lists the generated (pred, adornment) pairs.
+	AdornedPreds []string
+}
+
+// Rewrite performs the magic-sets transform of (rectified) program p
+// for the given query goal. The goal's predicate must be an IDB
+// predicate of p.
+func Rewrite(p *program.Program, goal program.Atom, cfg Config) (*Rewritten, error) {
+	// Magic rewriting of a negated program needs the stratum-wise
+	// construction; callers use RewriteStratified for those.
+	for _, r := range p.Rules {
+		for _, b := range r.Body {
+			if b.Negated {
+				return nil, fmt.Errorf("magic: program uses negation (%s in %s); use RewriteStratified", b, r)
+			}
+		}
+	}
+	return rewriteWithIDB(p, goal, cfg, p.IDB())
+}
+
+// RewriteStratified magic-rewrites a program with stratified negation.
+// Predicates consumed under negation (and everything they depend on)
+// cannot be goal-directed — their absence test needs the complete
+// relation — so they are returned as a materialization program to be
+// evaluated fully first; the remaining (positive) part is then
+// magic-rewritten with the materialized predicates treated as EDB.
+func RewriteStratified(p *program.Program, goal program.Atom, cfg Config) (*Rewritten, *program.Program, error) {
+	g := program.NewDepGraph(p)
+	if err := g.CheckStratified(); err != nil {
+		return nil, nil, fmt.Errorf("magic: %v", err)
+	}
+	// Closure of predicates needing full materialization: every pred
+	// negated anywhere, plus its (positive and negative) dependencies.
+	mat := make(map[string]bool)
+	var queue []string
+	for _, tos := range g.NegEdges {
+		for _, to := range tos {
+			if !mat[to] {
+				mat[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, succ := range g.Edges[k] {
+			if !mat[succ] {
+				mat[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if mat[goal.Key()] {
+		// The goal itself is below a negation: no goal-direction left.
+		return nil, nil, fmt.Errorf("magic: goal %s is consumed under negation; use seminaive", goal.Key())
+	}
+	phase1 := &program.Program{}
+	for _, r := range p.Rules {
+		if mat[r.Head.Key()] {
+			phase1.Rules = append(phase1.Rules, r)
+		}
+	}
+	idb := p.IDB()
+	for k := range mat {
+		delete(idb, k) // materialized: treated as EDB by the rewrite
+	}
+	rw, err := rewriteWithIDB(p, goal, cfg, idb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rw, phase1, nil
+}
+
+// rewriteWithIDB is the core transform; idb controls which predicates
+// are magic-rewritten (everything else reads a relation directly).
+func rewriteWithIDB(p *program.Program, goal program.Atom, cfg Config, idb map[string]bool) (*Rewritten, error) {
+	if !idb[goal.Key()] {
+		return nil, fmt.Errorf("magic: %s is not an IDB predicate", goal.Key())
+	}
+	if cfg.Policy == PolicyCost && cfg.Model == nil {
+		return nil, fmt.Errorf("magic: PolicyCost requires a cost model")
+	}
+	th := cfg.thresholds()
+
+	out := &Rewritten{Program: &program.Program{}}
+	goalAd := adorn.GoalAdornment(goal)
+	out.GoalAd = goalAd
+	out.AnswerPred = AdornedName(goal.Pred, goalAd)
+
+	type pa struct {
+		key string // pred/arity
+		ad  string
+	}
+	seen := make(map[pa]bool)
+	queue := []pa{{key: goal.Key(), ad: goalAd}}
+	seen[queue[0]] = true
+
+	// Predicates that have ground facts in the program: their adorned
+	// versions need a bridge rule reading the fact relation.
+	factPreds := make(map[string]bool)
+	for _, f := range p.Facts {
+		factPreds[f.Key()] = true
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if factPreds[cur.key] {
+			pred, arity := keyParts(cur.key)
+			args := make([]term.Term, arity)
+			for i := range args {
+				args[i] = term.NewVar(fmt.Sprintf("_M%d", i))
+			}
+			bridge := program.Rule{Head: program.Atom{Pred: AdornedName(pred, cur.ad), Args: args}}
+			if strings.ContainsRune(cur.ad, 'b') {
+				var boundArgs []term.Term
+				for i := range args {
+					if cur.ad[i] == 'b' {
+						boundArgs = append(boundArgs, args[i])
+					}
+				}
+				bridge.Body = append(bridge.Body, program.Atom{Pred: MagicName(pred, cur.ad), Args: boundArgs})
+			}
+			bridge.Body = append(bridge.Body, program.Atom{Pred: pred, Args: args})
+			out.Program.Rules = append(out.Program.Rules, bridge)
+		}
+		for ri, r := range p.RulesFor(cur.key) {
+			rules, calls, decisions := rewriteRule(p, idb, r, cur.ad, ri, cfg, th)
+			out.Decisions = append(out.Decisions, decisions...)
+			out.Program.Rules = append(out.Program.Rules, rules...)
+			for _, c := range calls {
+				np := pa{key: c.key, ad: c.ad}
+				if !seen[np] {
+					seen[np] = true
+					queue = append(queue, np)
+				}
+			}
+		}
+	}
+
+	// Seed: the magic fact for the goal's bound arguments.
+	if strings.ContainsRune(goalAd, 'b') {
+		var boundArgs []term.Term
+		for i, a := range goal.Args {
+			if goalAd[i] == 'b' {
+				boundArgs = append(boundArgs, a)
+			}
+		}
+		out.Program.Facts = append(out.Program.Facts, program.Atom{
+			Pred: MagicName(goal.Pred, goalAd),
+			Args: boundArgs,
+		})
+	}
+
+	pas := make([]string, 0, len(seen))
+	for k := range seen {
+		pas = append(pas, AdornedName(strings.SplitN(k.key, "/", 2)[0], k.ad))
+	}
+	sort.Strings(pas)
+	out.AdornedPreds = pas
+	return out, nil
+}
+
+type callSite struct {
+	key string
+	ad  string
+}
+
+func keyParts(key string) (string, int) {
+	i := strings.LastIndexByte(key, '/')
+	var ar int
+	fmt.Sscanf(key[i+1:], "%d", &ar)
+	return key[:i], ar
+}
+
+// Answers extracts the query answers from an evaluated catalog: the
+// adorned answer relation holds answers for every magic binding, so the
+// goal's ground arguments select the requested subset.
+func Answers(cat *relation.Catalog, rw *Rewritten, goal program.Atom) *relation.Relation {
+	rel := cat.Get(rw.AnswerPred)
+	if rel == nil {
+		return relation.New(rw.AnswerPred, len(goal.Args))
+	}
+	constraints := make(map[int]term.Term)
+	for i, a := range goal.Args {
+		if a.Ground() {
+			constraints[i] = a
+		}
+	}
+	return rel.Select(constraints)
+}
+
+// rewriteRule adorns one rule under head adornment ad, generating the
+// magic (and, when configured, supplementary) rules for its IDB body
+// literals according to the propagation policy. It returns every
+// generated rule, with the adorned answer rule last.
+func rewriteRule(p *program.Program, idb map[string]bool, r program.Rule, ad string, ruleIdx int, cfg Config, th cost.Thresholds) ([]program.Rule, []callSite, []Decision) {
+	bound := adorn.BoundVarsOfHead(r.Head, ad)
+	hasMagic := strings.ContainsRune(ad, 'b')
+
+	// The magic guard literal for the head.
+	var magicHead *program.Atom
+	if hasMagic {
+		var boundArgs []term.Term
+		for i, a := range r.Head.Args {
+			if ad[i] == 'b' {
+				boundArgs = append(boundArgs, a)
+			}
+		}
+		magicHead = &program.Atom{Pred: MagicName(r.Head.Pred, ad), Args: boundArgs}
+	}
+
+	n := len(r.Body)
+	done := make([]bool, n)
+	litAds := make(map[int]string) // IDB literal index → adornment used
+	var sipOrder []int
+	// prefix holds the literals (already adorned where IDB) that
+	// propagate bindings; roles records how each scheduled literal
+	// participates, for the post-pass that assembles the rules.
+	var prefix []program.Atom
+	roles := make(map[int]sipRole)
+	var calls []callSite
+	var decisions []Decision
+
+	evalExpansion := 1.0
+
+	connected := func(lit program.Atom) bool {
+		vars := lit.Vars()
+		if len(vars) == 0 {
+			return true
+		}
+		for v := range vars {
+			if bound[v] {
+				return true
+			}
+		}
+		for _, a := range lit.Args {
+			if a.Ground() {
+				return true
+			}
+		}
+		return false
+	}
+
+	propagateDecision := func(lit program.Atom) (cost.Choice, float64, string) {
+		switch cfg.Policy {
+		case PolicyFollow:
+			return cost.Follow, 0, "policy follow-all"
+		case PolicySplit:
+			if len(prefix) == 0 {
+				return cost.Follow, 0, "policy split-all: first connection follows"
+			}
+			return cost.Split, 0, "policy split-all"
+		default:
+			e := cfg.Model.Expansion(lit, bound)
+			choice, why := cfg.Model.Decide(e, evalExpansion, th)
+			return choice, e, why
+		}
+	}
+
+	for len(sipOrder) < n {
+		// 1. evaluable builtin; 2. connected non-builtin; 3. any
+		// non-builtin; 4. leftover builtin (scheduled last, may still
+		// be unevaluable here — seminaive's own scheduler has the
+		// final say at evaluation time).
+		pick := -1
+		kind := -1
+		for pass := 0; pass < 4 && pick < 0; pass++ {
+			for i := 0; i < n; i++ {
+				if done[i] {
+					continue
+				}
+				lit := r.Body[i]
+				isB := lit.IsBuiltin()
+				switch pass {
+				case 0:
+					if !isB {
+						continue
+					}
+					b := builtin.Lookup(lit.Pred, lit.Arity())
+					if !b.FiniteUnder(adorn.AtomAdornment(lit, bound)) {
+						continue
+					}
+				case 1:
+					if isB || !connected(lit) {
+						continue
+					}
+				case 2:
+					if isB {
+						continue
+					}
+				case 3:
+					// any leftover builtin
+				}
+				pick, kind = i, pass
+				break
+			}
+		}
+		i := pick
+		lit := r.Body[i]
+		done[i] = true
+		sipOrder = append(sipOrder, i)
+
+		switch {
+		case lit.Negated:
+			// Negation-as-failure binds nothing and must not join the
+			// magic bodies: it is a pure test in the answer rule. Its
+			// predicate is materialized beforehand (RewriteStratified).
+			roles[i] = roleResidual
+		case kind == 0 || kind == 3: // builtin
+			if kind == 0 {
+				for v := range lit.Vars() {
+					bound[v] = true
+				}
+				prefix = append(prefix, lit)
+				roles[i] = rolePropagating
+			} else {
+				roles[i] = roleResidual
+			}
+		case idb[lit.Key()]: // IDB literal: adorn, enqueue
+			litAd := adorn.AtomAdornment(lit, bound)
+			litAds[i] = litAd
+			roles[i] = roleIDB
+			calls = append(calls, callSite{key: lit.Key(), ad: litAd})
+			// The literal's answers bind all its variables.
+			for v := range lit.Vars() {
+				bound[v] = true
+			}
+			prefix = append(prefix, program.Atom{Pred: AdornedName(lit.Pred, litAd), Args: lit.Args})
+		default: // EDB literal: propagation policy decides
+			choice, e, why := propagateDecision(lit)
+			decisions = append(decisions, Decision{
+				Rule: r.String(), Literal: lit.String(), Expansion: e, Choice: choice, Why: why,
+			})
+			if choice == cost.Follow {
+				for v := range lit.Vars() {
+					bound[v] = true
+				}
+				prefix = append(prefix, lit)
+				roles[i] = rolePropagating
+				if e > 0 {
+					evalExpansion *= e
+				}
+			} else {
+				// Split: the literal stays in the rule body (delayed
+				// portion) but contributes no bindings and is excluded
+				// from magic rule bodies.
+				roles[i] = roleResidual
+			}
+		}
+	}
+
+	var rules []program.Rule
+	if cfg.Supplementary {
+		rules = assembleSupplementary(r, ad, ruleIdx, sipOrder, roles, litAds, magicHead)
+	} else {
+		rules = assembleFlat(r, ad, sipOrder, roles, litAds, magicHead)
+	}
+	return rules, calls, decisions
+}
+
+// sipRole classifies a scheduled body literal.
+type sipRole int
+
+const (
+	// rolePropagating: a builtin or followed EDB literal contributing
+	// bindings to the SIP.
+	rolePropagating sipRole = iota
+	// roleIDB: an IDB literal (adorned, magic-guarded).
+	roleIDB
+	// roleResidual: a split EDB literal or an unschedulable builtin —
+	// present in the answer rule only.
+	roleResidual
+)
+
+// adornedBodyAtom renders body literal i as it appears in rewritten
+// rules.
+func adornedBodyAtom(r program.Rule, i int, litAds map[int]string) program.Atom {
+	lit := r.Body[i]
+	if litAd, ok := litAds[i]; ok {
+		return program.Atom{Pred: AdornedName(lit.Pred, litAd), Args: lit.Args}
+	}
+	return lit
+}
+
+// magicRuleHead builds the magic head atom for IDB body literal i.
+func magicRuleHead(r program.Rule, i int, litAds map[int]string) (program.Atom, bool) {
+	lit := r.Body[i]
+	litAd := litAds[i]
+	if !strings.ContainsRune(litAd, 'b') {
+		return program.Atom{}, false
+	}
+	var boundArgs []term.Term
+	for k, a := range lit.Args {
+		if litAd[k] == 'b' {
+			boundArgs = append(boundArgs, a)
+		}
+	}
+	return program.Atom{Pred: MagicName(lit.Pred, litAd), Args: boundArgs}, true
+}
+
+// assembleFlat builds the classic rewrite: one magic rule per IDB body
+// literal, each re-listing the whole propagating prefix, plus the
+// adorned answer rule.
+func assembleFlat(r program.Rule, ad string, sipOrder []int, roles map[int]sipRole, litAds map[int]string, magicHead *program.Atom) []program.Rule {
+	var rules []program.Rule
+	var prefix []program.Atom
+	for _, i := range sipOrder {
+		switch roles[i] {
+		case roleIDB:
+			if mh, ok := magicRuleHead(r, i, litAds); ok {
+				mr := program.Rule{Head: mh}
+				if magicHead != nil {
+					mr.Body = append(mr.Body, *magicHead)
+				}
+				mr.Body = append(mr.Body, prefix...)
+				rules = append(rules, mr)
+			}
+			prefix = append(prefix, adornedBodyAtom(r, i, litAds))
+		case rolePropagating:
+			prefix = append(prefix, r.Body[i])
+		}
+	}
+	adorned := program.Rule{
+		Head: program.Atom{Pred: AdornedName(r.Head.Pred, ad), Args: r.Head.Args},
+	}
+	if magicHead != nil {
+		adorned.Body = append(adorned.Body, *magicHead)
+	}
+	for _, i := range sipOrder {
+		adorned.Body = append(adorned.Body, adornedBodyAtom(r, i, litAds))
+	}
+	return append(rules, adorned)
+}
+
+// assembleSupplementary builds the supplementary-predicate rewrite:
+// after each IDB body literal the bindings needed downstream are
+// materialized in a sup$ relation, so shared prefixes are evaluated
+// once instead of once per magic rule plus once in the answer rule.
+func assembleSupplementary(r program.Rule, ad string, ruleIdx int, sipOrder []int, roles map[int]sipRole, litAds map[int]string, magicHead *program.Atom) []program.Rule {
+	// neededAfter[k] = variables used by non-residual literals
+	// sipOrder[k:], by the head, or by ANY residual literal. Residual
+	// (split) literals are appended at the end of the answer rule
+	// regardless of their SIP position, so their variables must
+	// survive the whole supplementary chain — dropping them would
+	// detach their join conditions and admit spurious answers.
+	n := len(sipOrder)
+	always := r.Head.Vars()
+	for _, i := range sipOrder {
+		if roles[i] == roleResidual {
+			for v := range r.Body[i].Vars() {
+				always[v] = true
+			}
+		}
+	}
+	neededAfter := make([]map[string]bool, n+1)
+	neededAfter[n] = always
+	for k := n - 1; k >= 0; k-- {
+		cur := make(map[string]bool)
+		for v := range neededAfter[k+1] {
+			cur[v] = true
+		}
+		if roles[sipOrder[k]] != roleResidual {
+			for v := range r.Body[sipOrder[k]].Vars() {
+				cur[v] = true
+			}
+		}
+		neededAfter[k] = cur
+	}
+
+	var rules []program.Rule
+	var cur *program.Atom // current supplementary (or magic head)
+	if magicHead != nil {
+		cur = magicHead
+	}
+	var pending []program.Atom // literals since the last sup point
+	bound := adorn.BoundVarsOfHead(r.Head, ad)
+	supCount := 0
+
+	for k, i := range sipOrder {
+		switch roles[i] {
+		case rolePropagating:
+			pending = append(pending, r.Body[i])
+			for v := range r.Body[i].Vars() {
+				bound[v] = true
+			}
+		case roleResidual:
+			// Appears only in the answer rule (handled at the end).
+		case roleIDB:
+			if mh, ok := magicRuleHead(r, i, litAds); ok {
+				mr := program.Rule{Head: mh}
+				if cur != nil {
+					mr.Body = append(mr.Body, *cur)
+				}
+				mr.Body = append(mr.Body, pending...)
+				rules = append(rules, mr)
+			}
+			// Materialize the post-call supplementary: bound vars
+			// (after this literal) that are still needed.
+			for v := range r.Body[i].Vars() {
+				bound[v] = true
+			}
+			var supVars []term.Term
+			for _, v := range term.SortedVarNames(bound) {
+				if neededAfter[k+1][v] {
+					supVars = append(supVars, term.NewVar(v))
+				}
+			}
+			supAtom := program.Atom{Pred: SupName(r.Head.Pred, ad, ruleIdx, supCount), Args: supVars}
+			supCount++
+			sr := program.Rule{Head: supAtom}
+			if cur != nil {
+				sr.Body = append(sr.Body, *cur)
+			}
+			sr.Body = append(sr.Body, pending...)
+			sr.Body = append(sr.Body, adornedBodyAtom(r, i, litAds))
+			rules = append(rules, sr)
+			supCopy := supAtom
+			cur = &supCopy
+			pending = nil
+		}
+	}
+
+	adorned := program.Rule{
+		Head: program.Atom{Pred: AdornedName(r.Head.Pred, ad), Args: r.Head.Args},
+	}
+	if cur != nil {
+		adorned.Body = append(adorned.Body, *cur)
+	}
+	adorned.Body = append(adorned.Body, pending...)
+	for _, i := range sipOrder {
+		if roles[i] == roleResidual {
+			adorned.Body = append(adorned.Body, r.Body[i])
+		}
+	}
+	return append(rules, adorned)
+}
+

@@ -1,0 +1,67 @@
+package magic
+
+import (
+	"testing"
+
+	"chainsplit/internal/cost"
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/seminaive"
+)
+
+// Regression for a soundness bug found by the cross-engine fuzzer: in
+// the supplementary rewrite, a split (residual) literal's variables
+// were dropped from the supplementary chain when its SIP position
+// preceded later IDB literals, detaching its join condition in the
+// answer rule and admitting spurious answers — here (c0,c4)/(c0,c5)
+// appeared because e2(Y, W) lost its Y-join with p@fb(Y, Z).
+func TestRegressionResidualVarsSurviveSupChain(t *testing.T) {
+	const src = `
+e2(c4, c5).
+e2(c2, c4).
+e2(c0, c0).
+e2(c0, c3).
+e2(c3, c3).
+p(Z, W) :- p(X, X), e2(Y, W), p(Y, Z).
+p(Y, X) :- e2(Y, X).
+`
+	res, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.Rectify(res.Program)
+	goalQ, _ := lang.ParseQuery("?- p(c0, Y).")
+	goal := goalQ.Goals[0]
+
+	want := map[string]bool{"(c0, c0)": true, "(c0, c3)": true}
+	for _, sup := range []bool{false, true} {
+		for _, pol := range []Policy{PolicyFollow, PolicySplit, PolicyCost} {
+			cat := relation.NewCatalog()
+			for _, f := range p.Facts {
+				cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args))
+			}
+			cfg := Config{Policy: pol, Supplementary: sup}
+			if pol == PolicyCost {
+				cfg.Model = &cost.Model{Cat: cat}
+			}
+			rw, err := Rewrite(p, goal, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := seminaive.Eval(rw.Program, cat, seminaive.Options{}); err != nil {
+				t.Fatalf("%v sup=%v: %v", pol, sup, err)
+			}
+			ans := Answers(cat, rw, goal)
+			if ans.Len() != len(want) {
+				t.Fatalf("%v sup=%v: answers %v, want exactly %v\nprogram:\n%s",
+					pol, sup, ans.Sorted(), want, rw.Program)
+			}
+			for _, tup := range ans.Tuples() {
+				if !want[tup.String()] {
+					t.Errorf("%v sup=%v: spurious answer %v", pol, sup, tup)
+				}
+			}
+		}
+	}
+}

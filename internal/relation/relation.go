@@ -1,0 +1,381 @@
+// Package relation implements the set-oriented storage layer of the
+// deductive database: relations of ground tuples with hash indexes,
+// and the algebra (selection, projection, hash join, semijoin, union,
+// difference) the bottom-up engines are written against.
+//
+// Relations preserve insertion order, so every evaluation in this
+// repository is deterministic; indexes are maintained incrementally on
+// insert, so semi-naive iteration does not rebuild hash tables each
+// round.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chainsplit/internal/term"
+)
+
+// Tuple is an ordered list of ground terms.
+type Tuple []term.Term
+
+// Key returns the canonical encoding of the whole tuple.
+func (t Tuple) Key() string {
+	var buf []byte
+	for _, v := range t {
+		buf = term.AppendKey(buf, v)
+	}
+	return string(buf)
+}
+
+// KeyOn returns the canonical encoding of the projection onto cols.
+func (t Tuple) KeyOn(cols []int) string {
+	var buf []byte
+	for _, c := range cols {
+		buf = term.AppendKey(buf, t[c])
+	}
+	return string(buf)
+}
+
+// Ground reports whether every component is ground.
+func (t Tuple) Ground() bool {
+	for _, v := range t {
+		if !v.Ground() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise term equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !term.Equal(t[i], o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// colIndex is a hash index on a fixed column list.
+type colIndex struct {
+	cols    []int
+	buckets map[string][]int // projection key → tuple positions
+}
+
+func colsKey(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Relation is a set of ground tuples of fixed arity with insertion
+// order preserved and incrementally maintained column indexes.
+type Relation struct {
+	name    string
+	arity   int
+	tuples  []Tuple
+	present map[string]bool
+	indexes map[string]*colIndex
+}
+
+// New returns an empty relation with the given name and arity.
+func New(name string, arity int) *Relation {
+	return &Relation{
+		name:    name,
+		arity:   arity,
+		present: make(map[string]bool),
+		indexes: make(map[string]*colIndex),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the tuple width.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds the tuple if absent; it reports whether the relation
+// grew. It panics on arity mismatch or non-ground tuples — both are
+// engine bugs, not data errors.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation %s/%d: inserting tuple of width %d", r.name, r.arity, len(t)))
+	}
+	if !t.Ground() {
+		panic(fmt.Sprintf("relation %s: inserting non-ground tuple %s", r.name, t))
+	}
+	k := t.Key()
+	if r.present[k] {
+		return false
+	}
+	r.present[k] = true
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for _, idx := range r.indexes {
+		pk := t.KeyOn(idx.cols)
+		idx.buckets[pk] = append(idx.buckets[pk], pos)
+	}
+	return true
+}
+
+// InsertAll inserts every tuple of o (which must have equal arity) and
+// returns the number of new tuples.
+func (r *Relation) InsertAll(o *Relation) int {
+	n := 0
+	for _, t := range o.tuples {
+		if r.Insert(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t Tuple) bool { return r.present[t.Key()] }
+
+// Tuples returns the underlying tuple slice in insertion order. Callers
+// must not modify it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// At returns the i-th tuple in insertion order.
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// index returns (building if needed) the index on cols.
+func (r *Relation) index(cols []int) *colIndex {
+	ck := colsKey(cols)
+	if idx, ok := r.indexes[ck]; ok {
+		return idx
+	}
+	idx := &colIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	for pos, t := range r.tuples {
+		pk := t.KeyOn(cols)
+		idx.buckets[pk] = append(idx.buckets[pk], pos)
+	}
+	r.indexes[ck] = idx
+	return idx
+}
+
+// LookupOn returns the tuples whose projection onto cols equals the
+// given values, using (and caching) a hash index.
+func (r *Relation) LookupOn(cols []int, values Tuple) []Tuple {
+	idx := r.index(cols)
+	var buf []byte
+	for _, v := range values {
+		buf = term.AppendKey(buf, v)
+	}
+	positions := idx.buckets[string(buf)]
+	if len(positions) == 0 {
+		return nil
+	}
+	out := make([]Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = r.tuples[p]
+	}
+	return out
+}
+
+// DistinctOn returns the number of distinct projections onto cols.
+func (r *Relation) DistinctOn(cols []int) int { return len(r.index(cols).buckets) }
+
+// Clone returns an independent copy (tuples shared — they are
+// immutable).
+func (r *Relation) Clone() *Relation {
+	c := New(r.name, r.arity)
+	for _, t := range r.tuples {
+		c.Insert(t)
+	}
+	return c
+}
+
+// Select returns the tuples satisfying all constraints, where a
+// constraint fixes column i to a ground term. With one or more
+// constraints it uses a hash index.
+func (r *Relation) Select(constraints map[int]term.Term) *Relation {
+	out := New(r.name, r.arity)
+	if len(constraints) == 0 {
+		for _, t := range r.tuples {
+			out.Insert(t)
+		}
+		return out
+	}
+	cols := make([]int, 0, len(constraints))
+	for c := range constraints {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	values := make(Tuple, len(cols))
+	for i, c := range cols {
+		values[i] = constraints[c]
+	}
+	for _, t := range r.LookupOn(cols, values) {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Project returns the projection of r onto cols (duplicates removed).
+func (r *Relation) Project(name string, cols []int) *Relation {
+	out := New(name, len(cols))
+	for _, t := range r.tuples {
+		pt := make(Tuple, len(cols))
+		for i, c := range cols {
+			pt[i] = t[c]
+		}
+		out.Insert(pt)
+	}
+	return out
+}
+
+// Join hash-joins r and o on r.leftCols = o.rightCols and returns the
+// concatenated tuples (r's columns then o's columns). o is the build
+// side when smaller.
+func (r *Relation) Join(name string, o *Relation, leftCols, rightCols []int) *Relation {
+	out := New(name, r.arity+o.arity)
+	if len(leftCols) != len(rightCols) {
+		panic("relation: join column lists differ in length")
+	}
+	// Probe the smaller side's index.
+	for _, lt := range r.tuples {
+		values := make(Tuple, len(leftCols))
+		for i, c := range leftCols {
+			values[i] = lt[c]
+		}
+		for _, rt := range o.LookupOn(rightCols, values) {
+			joined := make(Tuple, 0, r.arity+o.arity)
+			joined = append(joined, lt...)
+			joined = append(joined, rt...)
+			out.Insert(joined)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the tuples of r having at least one match in o on
+// the given columns.
+func (r *Relation) Semijoin(o *Relation, leftCols, rightCols []int) *Relation {
+	out := New(r.name, r.arity)
+	idx := o.index(rightCols)
+	for _, lt := range r.tuples {
+		var buf []byte
+		for _, c := range leftCols {
+			buf = term.AppendKey(buf, lt[c])
+		}
+		if len(idx.buckets[string(buf)]) > 0 {
+			out.Insert(lt)
+		}
+	}
+	return out
+}
+
+// Diff returns the tuples of r not present in o (same arity).
+func (r *Relation) Diff(o *Relation) *Relation {
+	out := New(r.name, r.arity)
+	for _, t := range r.tuples {
+		if !o.Contains(t) {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// Sorted returns the tuples sorted by term order, for stable output.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if c := term.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d{", r.name, r.arity)
+	for i, t := range r.tuples {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Catalog is a named collection of relations (the EDB plus any derived
+// relations an engine materializes).
+type Catalog struct {
+	rels map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
+
+// Get returns the relation with the given name, or nil.
+func (c *Catalog) Get(name string) *Relation { return c.rels[name] }
+
+// Ensure returns the relation with the given name, creating it (with
+// the given arity) if absent. It panics if an existing relation has a
+// different arity.
+func (c *Catalog) Ensure(name string, arity int) *Relation {
+	if r, ok := c.rels[name]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("catalog: %s exists with arity %d, requested %d", name, r.arity, arity))
+		}
+		return r
+	}
+	r := New(name, arity)
+	c.rels[name] = r
+	return r
+}
+
+// Names returns the sorted relation names.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the catalog.
+func (c *Catalog) Clone() *Catalog {
+	out := NewCatalog()
+	for n, r := range c.rels {
+		out.rels[n] = r.Clone()
+	}
+	return out
+}
+
+// TotalTuples returns the total tuple count across all relations.
+func (c *Catalog) TotalTuples() int {
+	n := 0
+	for _, r := range c.rels {
+		n += r.Len()
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"chainsplit/internal/term"
+)
+
+func buildChainRel(n int) *Relation {
+	r := New("e", 2)
+	for i := 0; i < n; i++ {
+		r.Insert(Tuple{term.NewSym(fmt.Sprintf("n%d", i)), term.NewSym(fmt.Sprintf("n%d", i+1))})
+	}
+	return r
+}
+
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	r := New("e", 2)
+	for i := 0; i < b.N; i++ {
+		r.Insert(Tuple{term.NewInt(int64(i)), term.NewInt(int64(i + 1))})
+	}
+}
+
+func BenchmarkLookupIndexed(b *testing.B) {
+	r := buildChainRel(10000)
+	key := Tuple{term.NewSym("n5000")}
+	r.LookupOn([]int{0}, key) // build index outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.LookupOn([]int{0}, key)) != 1 {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	r := buildChainRel(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := r.Join("j", r, []int{1}, []int{0})
+		if j.Len() != 1999 {
+			b.Fatalf("join size %d", j.Len())
+		}
+	}
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	r := buildChainRel(2000)
+	probe := r.Project("p", []int{0})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Semijoin(probe, []int{1}, []int{0}).Len() == 0 {
+			b.Fatal("empty semijoin")
+		}
+	}
+}

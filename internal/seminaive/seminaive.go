@@ -1,0 +1,539 @@
+// Package seminaive implements bottom-up evaluation of (rectified,
+// safe) programs: naive and semi-naive fixpoint iteration, stratified
+// by the predicate dependency SCCs, with builtins scheduled by binding
+// modes inside each rule body.
+//
+// The engine never hangs: iteration and tuple budgets convert the
+// paper's "infinitely evaluable" into ErrBudget, and a statically
+// unschedulable builtin (e.g. cons with only its head argument bound,
+// which would enumerate infinitely many lists) is reported as
+// ErrUnsafe before evaluation begins.
+package seminaive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chainsplit/internal/builtin"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/term"
+)
+
+// ErrBudget is returned when evaluation exceeds the configured
+// iteration or tuple budget — the runtime signature of an infinite (or
+// practically unbounded) evaluation.
+var ErrBudget = errors.New("seminaive: evaluation budget exceeded")
+
+// ErrUnsafe is returned when a rule body cannot be scheduled so that
+// every builtin is finitely evaluable — the static signature of an
+// infinitely evaluable chain element.
+var ErrUnsafe = errors.New("seminaive: rule is not safe for bottom-up evaluation")
+
+// Options configures an evaluation.
+type Options struct {
+	// MaxIterations bounds fixpoint rounds per SCC (0 = 1e6).
+	MaxIterations int
+	// MaxTuples bounds the total number of derived tuples (0 = 5e6).
+	MaxTuples int
+	// TraceDeltas records per-iteration delta cardinalities (used to
+	// regenerate the paper's iteration-profile figures).
+	TraceDeltas bool
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 1_000_000
+}
+
+func (o Options) maxTuples() int {
+	if o.MaxTuples > 0 {
+		return o.MaxTuples
+	}
+	return 5_000_000
+}
+
+// IterStats records one fixpoint round of one SCC.
+type IterStats struct {
+	SCC       string
+	Iteration int
+	// DeltaSizes maps predicate name to the number of new tuples
+	// derived this round.
+	DeltaSizes map[string]int
+}
+
+// Stats aggregates evaluation metrics.
+type Stats struct {
+	Iterations    int         // total fixpoint rounds across SCCs
+	DerivedTuples int         // tuples inserted into IDB relations
+	Matches       int64       // tuple matches enumerated (join work proxy)
+	Deltas        []IterStats // present when Options.TraceDeltas
+}
+
+// relName converts a predicate key (p/2) into a relation name. Derived
+// relations are stored under the bare predicate name with arity checked
+// by the catalog.
+func relName(pred string) string { return pred }
+
+// Engine evaluates one program against one working catalog.
+type Engine struct {
+	prog  *program.Program
+	graph *program.DepGraph
+	cat   *relation.Catalog
+	opts  Options
+	stats Stats
+	idb   map[string]bool
+}
+
+// New prepares an engine. The catalog is used as working storage: EDB
+// facts from the program are loaded into it, and derived relations are
+// created in it. Pass a clone if the caller needs the original
+// untouched.
+func New(p *program.Program, cat *relation.Catalog, opts Options) *Engine {
+	e := &Engine{prog: p, graph: program.NewDepGraph(p), cat: cat, opts: opts, idb: p.IDB()}
+	for _, f := range p.Facts {
+		rel := cat.Ensure(relName(f.Pred), f.Arity())
+		rel.Insert(relation.Tuple(f.Args))
+	}
+	return e
+}
+
+// Catalog returns the working catalog.
+func (e *Engine) Catalog() *relation.Catalog { return e.cat }
+
+// Stats returns the accumulated statistics.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Run evaluates the whole program to fixpoint, SCC by SCC in
+// dependency order.
+func (e *Engine) Run() error {
+	if err := e.graph.CheckStratified(); err != nil {
+		return fmt.Errorf("%w: %v", ErrUnsafe, err)
+	}
+	// Pre-create IDB relations (arity from rule heads).
+	for _, r := range e.prog.Rules {
+		e.cat.Ensure(relName(r.Head.Pred), r.Head.Arity())
+		for _, b := range r.Body {
+			if !b.IsBuiltin() {
+				e.cat.Ensure(relName(b.Pred), b.Arity())
+			}
+		}
+	}
+	for _, scc := range e.graph.SCCs {
+		if err := e.runSCC(scc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sccRules returns the rules whose head is in the SCC.
+func (e *Engine) sccRules(scc []string) []program.Rule {
+	inSCC := make(map[string]bool, len(scc))
+	for _, k := range scc {
+		inSCC[k] = true
+	}
+	var out []program.Rule
+	for _, r := range e.prog.Rules {
+		if inSCC[r.Head.Key()] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (e *Engine) runSCC(scc []string) error {
+	rules := e.sccRules(scc)
+	if len(rules) == 0 {
+		return nil
+	}
+	inSCC := make(map[string]bool, len(scc))
+	for _, k := range scc {
+		inSCC[k] = true
+	}
+	// Schedule each rule body once (builtin-safe ordering).
+	scheds := make([][]int, len(rules))
+	for i, r := range rules {
+		order, err := scheduleBody(r)
+		if err != nil {
+			return err
+		}
+		scheds[i] = order
+	}
+	// Split into exit rules (no same-SCC body literal) and recursive.
+	var exitIdx, recIdx []int
+	for i, r := range rules {
+		rec := false
+		for _, b := range r.Body {
+			if !b.IsBuiltin() && inSCC[b.Key()] {
+				rec = true
+				break
+			}
+		}
+		if rec {
+			recIdx = append(recIdx, i)
+		} else {
+			exitIdx = append(exitIdx, i)
+		}
+	}
+
+	// Delta relations per SCC predicate.
+	deltas := make(map[string]*relation.Relation)
+	newDelta := func(key string) {
+		pred, ar := splitKey(key)
+		deltas[key] = relation.New(pred, ar)
+	}
+	for _, k := range scc {
+		newDelta(k)
+	}
+
+	insert := func(head program.Atom, s term.Subst, into map[string]*relation.Relation) error {
+		args := s.ResolveAll(head.Args)
+		tup := relation.Tuple(args)
+		if !tup.Ground() {
+			return fmt.Errorf("%w: head %s not ground in %s", ErrUnsafe, head.Resolve(s), head)
+		}
+		full := e.cat.Ensure(relName(head.Pred), head.Arity())
+		if full.Contains(tup) {
+			return nil
+		}
+		d := into[head.Key()]
+		if d.Insert(tup) {
+			// counted on merge
+		}
+		return nil
+	}
+
+	// Round 0: exit rules against full relations.
+	next := make(map[string]*relation.Relation)
+	for _, k := range scc {
+		pred, ar := splitKey(k)
+		next[k] = relation.New(pred, ar)
+	}
+	for _, i := range exitIdx {
+		r := rules[i]
+		err := e.evalRule(r, scheds[i], func(s term.Subst) error {
+			return insert(r.Head, s, next)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	merge := func(next map[string]*relation.Relation, iter int) (int, error) {
+		total := 0
+		var ds map[string]int
+		if e.opts.TraceDeltas {
+			ds = make(map[string]int)
+		}
+		keys := make([]string, 0, len(next))
+		for k := range next {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			d := next[k]
+			full := e.cat.Ensure(relName(d.Name()), d.Arity())
+			n := full.InsertAll(d)
+			total += n
+			e.stats.DerivedTuples += n
+			deltas[k] = d
+			if ds != nil {
+				ds[d.Name()] = n
+			}
+		}
+		if e.opts.TraceDeltas {
+			e.stats.Deltas = append(e.stats.Deltas, IterStats{
+				SCC: scc[0], Iteration: iter, DeltaSizes: ds,
+			})
+		}
+		if e.stats.DerivedTuples > e.opts.maxTuples() {
+			return 0, fmt.Errorf("%w: more than %d tuples derived", ErrBudget, e.opts.maxTuples())
+		}
+		return total, nil
+	}
+	if _, err := merge(next, 0); err != nil {
+		return err
+	}
+	if len(recIdx) == 0 {
+		return nil
+	}
+	// The initial delta is everything known for the SCC predicates so
+	// far: pre-existing facts plus the exit-round derivations.
+	for _, k := range scc {
+		pred, ar := splitKey(k)
+		if full := e.cat.Get(relName(pred)); full != nil && full.Arity() == ar {
+			deltas[k].InsertAll(full)
+		}
+	}
+
+	// Semi-naive rounds.
+	for iter := 1; ; iter++ {
+		if iter > e.opts.maxIterations() {
+			return fmt.Errorf("%w: more than %d iterations in SCC %v", ErrBudget, e.opts.maxIterations(), scc)
+		}
+		e.stats.Iterations++
+		next := make(map[string]*relation.Relation)
+		for _, k := range scc {
+			pred, ar := splitKey(k)
+			next[k] = relation.New(pred, ar)
+		}
+		derivedAny := false
+		for _, i := range recIdx {
+			r := rules[i]
+			// One evaluation pass per same-SCC body literal, with that
+			// occurrence reading the delta relation.
+			for li, b := range r.Body {
+				if b.IsBuiltin() || !inSCC[b.Key()] {
+					continue
+				}
+				if deltas[b.Key()].Len() == 0 {
+					continue
+				}
+				err := e.evalRuleDelta(r, scheds[i], deltas, li, func(s term.Subst) error {
+					return insert(r.Head, s, next)
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		n, err := merge(next, iter)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			derivedAny = true
+		}
+		if !derivedAny {
+			return nil
+		}
+	}
+}
+
+func splitKey(key string) (string, int) {
+	var pred string
+	var ar int
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			pred = key[:i]
+			fmt.Sscanf(key[i+1:], "%d", &ar)
+			break
+		}
+	}
+	return pred, ar
+}
+
+// scheduleBody orders the body so every builtin is invoked only when
+// its finite mode is satisfied, assuming relation literals bind all
+// their variables. Returns ErrUnsafe if impossible.
+func scheduleBody(r program.Rule) ([]int, error) {
+	n := len(r.Body)
+	bound := make(map[string]bool)
+	done := make([]bool, n)
+	var order []int
+	for len(order) < n {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if done[i] {
+				continue
+			}
+			lit := r.Body[i]
+			if lit.Negated {
+				// Negation-as-failure: every variable must be bound.
+				if adornOf(lit, bound) != allB(lit.Arity()) {
+					continue
+				}
+			} else if b := builtin.Lookup(lit.Pred, lit.Arity()); b != nil {
+				ad := adornOf(lit, bound)
+				if !b.FiniteUnder(ad) {
+					continue
+				}
+			}
+			pick = i
+			break
+		}
+		if pick < 0 {
+			var stuck []string
+			for i := 0; i < n; i++ {
+				if !done[i] {
+					stuck = append(stuck, r.Body[i].String())
+				}
+			}
+			return nil, fmt.Errorf("%w: %s (unschedulable: %v)", ErrUnsafe, r, stuck)
+		}
+		done[pick] = true
+		order = append(order, pick)
+		for v := range r.Body[pick].Vars() {
+			bound[v] = true
+		}
+	}
+	return order, nil
+}
+
+func adornOf(a program.Atom, bound map[string]bool) string {
+	buf := make([]byte, len(a.Args))
+	for i, arg := range a.Args {
+		buf[i] = 'b'
+		for v := range term.VarSet(arg) {
+			if !bound[v] {
+				buf[i] = 'f'
+				break
+			}
+		}
+	}
+	return string(buf)
+}
+
+func allB(n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = 'b'
+	}
+	return string(buf)
+}
+
+// evalRule enumerates all substitutions satisfying the body (in the
+// given order) against the full catalog and calls emit for each.
+func (e *Engine) evalRule(r program.Rule, order []int, emit func(term.Subst) error) error {
+	return e.eval(r, order, nil, -1, emit)
+}
+
+// evalRuleDelta is evalRule with body occurrence deltaLit reading from
+// the delta relation instead of the full one.
+func (e *Engine) evalRuleDelta(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, emit func(term.Subst) error) error {
+	return e.eval(r, order, deltas, deltaLit, emit)
+}
+
+func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, emit func(term.Subst) error) error {
+	// No renaming needed: every evaluation starts from an empty
+	// substitution and variables are scoped to this one rule.
+	rr := r
+	var rec func(step int, s term.Subst) error
+	rec = func(step int, s term.Subst) error {
+		if step == len(order) {
+			return emit(s)
+		}
+		li := order[step]
+		lit := rr.Body[li]
+		if lit.Negated {
+			ok, err := e.negationHolds(lit, s, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			return rec(step+1, s)
+		}
+		if b := builtin.Lookup(lit.Pred, lit.Arity()); b != nil {
+			sols, err := b.Eval(s, lit.Args)
+			if err != nil {
+				if errors.Is(err, builtin.ErrInsufficient) {
+					return fmt.Errorf("%w: %s in %s", ErrUnsafe, lit.Resolve(s), r)
+				}
+				return err
+			}
+			for _, sol := range sols {
+				if err := rec(step+1, sol); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var rel *relation.Relation
+		if deltas != nil && li == deltaLit {
+			rel = deltas[lit.Key()]
+		} else {
+			rel = e.cat.Get(relName(lit.Pred))
+		}
+		if rel == nil || rel.Len() == 0 {
+			return nil
+		}
+		// Index on the ground argument positions.
+		var cols []int
+		var vals relation.Tuple
+		resolved := make([]term.Term, len(lit.Args))
+		for i, a := range lit.Args {
+			ra := s.Resolve(a)
+			resolved[i] = ra
+			if ra.Ground() {
+				cols = append(cols, i)
+				vals = append(vals, ra)
+			}
+		}
+		var candidates []relation.Tuple
+		if len(cols) > 0 {
+			candidates = rel.LookupOn(cols, vals)
+		} else {
+			candidates = rel.Tuples()
+		}
+		for _, tup := range candidates {
+			e.stats.Matches++
+			sol := s.Clone()
+			ok := true
+			for i, a := range resolved {
+				if a.Ground() {
+					// Already matched by the index lookup when indexed;
+					// re-check for the full-scan path.
+					if len(cols) == 0 && !term.Equal(a, tup[i]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !term.Unify(sol, a, tup[i]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if err := rec(step+1, sol); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, term.NewSubst())
+}
+
+// negationHolds evaluates a negated literal under s: every argument
+// must be ground (guaranteed by the scheduler for safe rules), and the
+// positive form must have no solution. Stratification (checked in Run)
+// guarantees the consulted relation is complete.
+func (e *Engine) negationHolds(lit program.Atom, s term.Subst, r program.Rule) (bool, error) {
+	resolved := make([]term.Term, len(lit.Args))
+	for i, a := range lit.Args {
+		ra := s.Resolve(a)
+		if !ra.Ground() {
+			return false, fmt.Errorf("%w: negated literal %s not ground in %s", ErrUnsafe, lit.Resolve(s), r)
+		}
+		resolved[i] = ra
+	}
+	if b := builtin.Lookup(lit.Pred, lit.Arity()); b != nil {
+		sols, err := b.Eval(s, lit.Args)
+		if err != nil {
+			return false, fmt.Errorf("%w: %s in %s", ErrUnsafe, lit.Resolve(s), r)
+		}
+		return len(sols) == 0, nil
+	}
+	rel := e.cat.Get(relName(lit.Pred))
+	if rel == nil || rel.Arity() != lit.Arity() {
+		return true, nil // empty relation: negation holds
+	}
+	return !rel.Contains(relation.Tuple(resolved)), nil
+}
+
+// Eval is the convenience entry point: evaluate prog against cat (which
+// is mutated) and return stats.
+func Eval(p *program.Program, cat *relation.Catalog, opts Options) (*Stats, error) {
+	e := New(p, cat, opts)
+	if err := e.Run(); err != nil {
+		return e.Stats(), err
+	}
+	return e.Stats(), nil
+}

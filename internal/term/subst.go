@@ -1,0 +1,218 @@
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to
+// terms. Bindings may be chained (a variable bound to another variable
+// that is itself bound); Walk and Resolve follow chains.
+//
+// Substitutions are persistent in spirit but implemented as mutable
+// maps; Clone before branching.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns an independent copy of s.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Bind adds the binding v := t. It panics if v is already bound to a
+// different term; callers are expected to Walk first.
+func (s Subst) Bind(v Var, t Term) {
+	if old, ok := s[v.Name]; ok && !Equal(old, t) {
+		panic(fmt.Sprintf("term: rebinding %s from %s to %s", v.Name, old, t))
+	}
+	s[v.Name] = t
+}
+
+// Walk follows variable bindings starting at t until it reaches a
+// non-variable term or an unbound variable. It does not descend into
+// compound terms.
+func (s Subst) Walk(t Term) Term {
+	for {
+		v, ok := t.(Var)
+		if !ok {
+			return t
+		}
+		bound, ok := s[v.Name]
+		if !ok {
+			return t
+		}
+		t = bound
+	}
+}
+
+// Resolve applies s to t fully, substituting bound variables at any
+// depth. Unbound variables remain.
+func (s Subst) Resolve(t Term) Term {
+	t = s.Walk(t)
+	c, ok := t.(Comp)
+	if !ok || c.Ground() {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = s.Resolve(a)
+	}
+	return NewComp(c.Functor, args...)
+}
+
+// ResolveAll applies Resolve to each term.
+func (s Subst) ResolveAll(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Resolve(t)
+	}
+	return out
+}
+
+// String renders the substitution deterministically, e.g. {X=1, Y=a}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Unify attempts to unify a and b under s, extending s in place. It
+// reports whether unification succeeded; on failure s may contain
+// partial bindings, so callers should Clone before calling if they need
+// to backtrack. The occurs check is performed, so unification is sound
+// (X never unifies with f(X)); this matters because the rectifier turns
+// list constructors into cons literals whose evaluation must terminate.
+func Unify(s Subst, a, b Term) bool {
+	a, b = s.Walk(a), s.Walk(b)
+	if av, ok := a.(Var); ok {
+		if bv, ok := b.(Var); ok && av == bv {
+			return true
+		}
+		if occurs(s, av, b) {
+			return false
+		}
+		s.Bind(av, b)
+		return true
+	}
+	if bv, ok := b.(Var); ok {
+		if occurs(s, bv, a) {
+			return false
+		}
+		s.Bind(bv, a)
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch at := a.(type) {
+	case Sym:
+		return at == b.(Sym)
+	case Int:
+		return at == b.(Int)
+	case Str:
+		return at == b.(Str)
+	case Comp:
+		bt := b.(Comp)
+		if at.Functor != bt.Functor || len(at.Args) != len(bt.Args) {
+			return false
+		}
+		for i := range at.Args {
+			if !Unify(s, at.Args[i], bt.Args[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func occurs(s Subst, v Var, t Term) bool {
+	t = s.Walk(t)
+	switch tt := t.(type) {
+	case Var:
+		return tt == v
+	case Comp:
+		for _, a := range tt.Args {
+			if occurs(s, v, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Renamer generates fresh variable names and consistently renames the
+// variables of terms apart from all previously issued names.
+type Renamer struct {
+	prefix string
+	n      int
+	seen   map[string]Var
+}
+
+// NewRenamer returns a Renamer issuing names with the given prefix
+// (conventionally "_R" for rule instantiation).
+func NewRenamer(prefix string) *Renamer {
+	return &Renamer{prefix: prefix, seen: make(map[string]Var)}
+}
+
+// Fresh returns a brand-new variable.
+func (r *Renamer) Fresh() Var {
+	r.n++
+	return Var{Name: fmt.Sprintf("%s%d", r.prefix, r.n)}
+}
+
+// Reset forgets the per-term renaming table (but not the counter), so
+// the next Rename call renames apart from everything issued so far.
+func (r *Renamer) Reset() { r.seen = make(map[string]Var) }
+
+// Renamed reports what the variable named orig was renamed to since the
+// last Reset. Callers that need the source-to-instance variable mapping
+// (e.g. to locate an accumulator variable inside a renamed rule) query
+// this right after Rename.
+func (r *Renamer) Renamed(orig string) (Var, bool) {
+	v, ok := r.seen[orig]
+	return v, ok
+}
+
+// Rename returns t with every variable consistently replaced by a fresh
+// one. Consecutive calls share the renaming table until Reset, so the
+// head and body of one rule stay consistent.
+func (r *Renamer) Rename(t Term) Term {
+	switch tt := t.(type) {
+	case Var:
+		if nv, ok := r.seen[tt.Name]; ok {
+			return nv
+		}
+		nv := r.Fresh()
+		r.seen[tt.Name] = nv
+		return nv
+	case Comp:
+		args := make([]Term, len(tt.Args))
+		for i, a := range tt.Args {
+			args[i] = r.Rename(a)
+		}
+		return NewComp(tt.Functor, args...)
+	default:
+		return t
+	}
+}

@@ -1,0 +1,375 @@
+package topdown
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/seminaive"
+	"chainsplit/internal/term"
+)
+
+func engine(t *testing.T, src string, opts Options) *Engine {
+	t.Helper()
+	res, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.Rectify(res.Program)
+	return New(p, relation.NewCatalog(), opts)
+}
+
+func solve(t *testing.T, e *Engine, goalSrc string) [][]term.Term {
+	t.Helper()
+	q, err := lang.ParseQuery(goalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := e.Solve(q.Goals[0])
+	if err != nil {
+		t.Fatalf("Solve(%s): %v", goalSrc, err)
+	}
+	return ans
+}
+
+const sortSrc = `
+isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
+isort([], []).
+insert(X, [], [X]).
+insert(X, [Y|Ys], [Y|Zs]) :- X > Y, insert(X, Ys, Zs).
+insert(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+`
+
+func TestIsortPaperTrace(t *testing.T) {
+	// The paper's Example 4.1: ?- isort([5,7,1], Ys) → Ys = [1,5,7].
+	e := engine(t, sortSrc, Options{})
+	ans := solve(t, e, "?- isort([5,7,1], Ys).")
+	if len(ans) != 1 {
+		t.Fatalf("answers = %v", ans)
+	}
+	if !term.Equal(ans[0][1], term.IntList(1, 5, 7)) {
+		t.Errorf("Ys = %v, want [1, 5, 7]", ans[0][1])
+	}
+}
+
+func TestIsortRandomLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(12)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(50))
+		}
+		e := engine(t, sortSrc, Options{})
+		goal := program.NewAtom("isort", term.IntList(vals...), term.NewVar("Ys"))
+		ans, err := e.Solve(goal)
+		if err != nil {
+			t.Fatalf("n=%d vals=%v: %v", n, vals, err)
+		}
+		if len(ans) != 1 {
+			t.Fatalf("vals=%v: %d answers", vals, len(ans))
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if !term.Equal(ans[0][1], term.IntList(sorted...)) {
+			t.Errorf("isort(%v) = %v, want %v", vals, ans[0][1], sorted)
+		}
+	}
+}
+
+const qsortSrc = `
+qsort([X|Xs], Ys) :-
+    partition(Xs, X, Littles, Bigs),
+    qsort(Littles, Ls),
+    qsort(Bigs, Bs),
+    append(Ls, [X|Bs], Ys).
+qsort([], []).
+partition([X|Xs], Y, [X|Ls], Bs) :- X =< Y, partition(Xs, Y, Ls, Bs).
+partition([X|Xs], Y, Ls, [X|Bs]) :- X > Y, partition(Xs, Y, Ls, Bs).
+partition([], Y, [], []).
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`
+
+func TestQsortPaperTrace(t *testing.T) {
+	// The paper's Example 4.2: ?- qsort([4,9,5], Ys) → Ys = [4,5,9].
+	e := engine(t, qsortSrc, Options{})
+	ans := solve(t, e, "?- qsort([4,9,5], Ys).")
+	if len(ans) != 1 {
+		t.Fatalf("answers = %v", ans)
+	}
+	if !term.Equal(ans[0][1], term.IntList(4, 5, 9)) {
+		t.Errorf("Ys = %v, want [4, 5, 9]", ans[0][1])
+	}
+}
+
+func TestQsortRandomListsWithDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(10)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(6)) // duplicates likely
+		}
+		e := engine(t, qsortSrc, Options{})
+		goal := program.NewAtom("qsort", term.IntList(vals...), term.NewVar("Ys"))
+		ans, err := e.Solve(goal)
+		if err != nil {
+			t.Fatalf("vals=%v: %v", vals, err)
+		}
+		if len(ans) != 1 {
+			t.Fatalf("vals=%v: %d answers: %v", vals, len(ans), ans)
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if !term.Equal(ans[0][1], term.IntList(sorted...)) {
+			t.Errorf("qsort(%v) = %v, want %v", vals, ans[0][1], sorted)
+		}
+	}
+}
+
+const appendSrc = `
+append([], L, L).
+append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
+`
+
+func TestAppendForward(t *testing.T) {
+	e := engine(t, appendSrc, Options{})
+	ans := solve(t, e, "?- append([1,2], [3], W).")
+	if len(ans) != 1 || !term.Equal(ans[0][2], term.IntList(1, 2, 3)) {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestAppendAllSplits(t *testing.T) {
+	// append^ffb enumerates all splits of a bound list.
+	e := engine(t, appendSrc, Options{})
+	ans := solve(t, e, "?- append(U, V, [1,2,3]).")
+	if len(ans) != 4 {
+		t.Fatalf("got %d splits, want 4: %v", len(ans), ans)
+	}
+	// Verify one middle split is present.
+	found := false
+	for _, a := range ans {
+		if term.Equal(a[0], term.IntList(1)) && term.Equal(a[1], term.IntList(2, 3)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing split [1] ++ [2,3]: %v", ans)
+	}
+}
+
+func TestAppendInfiniteModeFlounders(t *testing.T) {
+	e := engine(t, appendSrc, Options{})
+	q, _ := lang.ParseQuery("?- append(U, [3], W).")
+	_, err := e.Solve(q.Goals[0])
+	if !errors.Is(err, ErrFlounder) {
+		t.Errorf("err = %v, want ErrFlounder", err)
+	}
+}
+
+const travelSrc = `
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+travel(L, D, DT, A, AT, F) :-
+    flight(Fno, D, DT, A1, AT1, F1),
+    travel(L1, A1, DT1, A, AT, F2),
+    DT1 > AT1,
+    plus(F1, F2, F),
+    cons(Fno, L1, L).
+flight(101, yvr, 900, yyc, 1100, 200).
+flight(202, yyc, 1200, yow, 1800, 300).
+flight(303, yvr, 800, yow, 1600, 600).
+flight(404, yyc, 1000, yow, 1500, 350).
+`
+
+func TestTravelChainSplit(t *testing.T) {
+	e := engine(t, travelSrc, Options{})
+	// All trips departing yvr: two direct-ish routes plus the
+	// connection 101→202 (1200 > 1100 ✓); 101→404 fails (1000 < 1100).
+	ans := solve(t, e, "?- travel(L, yvr, DT, A, AT, F).")
+	if len(ans) != 3 {
+		t.Fatalf("got %d itineraries, want 3: %v", len(ans), ans)
+	}
+	// Find the connecting itinerary and check its route and fare.
+	found := false
+	for _, a := range ans {
+		if term.Equal(a[0], term.List(term.NewInt(101), term.NewInt(202))) {
+			found = true
+			if !term.Equal(a[5], term.NewInt(500)) {
+				t.Errorf("fare = %v, want 500", a[5])
+			}
+			if !term.Equal(a[3], term.NewSym("yow")) {
+				t.Errorf("arrival = %v, want yow", a[3])
+			}
+		}
+	}
+	if !found {
+		t.Errorf("connecting itinerary [101, 202] missing: %v", ans)
+	}
+}
+
+const sgSrc = `
+sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
+sg(X, Y) :- sibling(X, Y).
+parent(c1, p1). parent(c2, p2).
+parent(p1, g1). parent(p2, g1).
+sibling(p1, p2). sibling(g1, g1).
+`
+
+func TestSGDifferentialWithSeminaive(t *testing.T) {
+	// Top-down tabled answers must match bottom-up semi-naive on the
+	// same program.
+	res, err := lang.Parse(sgSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.Rectify(res.Program)
+
+	cat := relation.NewCatalog()
+	if _, err := seminaive.Eval(p, cat, seminaive.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	bottomUp := cat.Get("sg")
+
+	e := New(p, relation.NewCatalog(), Options{})
+	for _, start := range []string{"c1", "c2", "p1", "g1"} {
+		goal := program.NewAtom("sg", term.NewSym(start), term.NewVar("Y"))
+		ans, err := e.Solve(goal)
+		if err != nil {
+			t.Fatalf("sg(%s, Y): %v", start, err)
+		}
+		want := bottomUp.Select(map[int]term.Term{0: term.NewSym(start)})
+		if len(ans) != want.Len() {
+			t.Errorf("sg(%s,Y): topdown %d answers, bottom-up %d", start, len(ans), want.Len())
+			continue
+		}
+		for _, a := range ans {
+			if !want.Contains(relation.Tuple(a)) {
+				t.Errorf("topdown extra answer sg%v", a)
+			}
+		}
+	}
+}
+
+func TestCyclicDataTerminates(t *testing.T) {
+	e := engine(t, `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(a, b). e(b, c). e(c, a).
+`, Options{})
+	ans := solve(t, e, "?- tc(a, Y).")
+	if len(ans) != 3 {
+		t.Fatalf("tc(a,Y) = %v, want a,b,c reachable", ans)
+	}
+}
+
+func TestLeftRecursionTerminates(t *testing.T) {
+	e := engine(t, `
+tc(X, Y) :- tc(X, Z), e(Z, Y).
+tc(X, Y) :- e(X, Y).
+e(a, b). e(b, c).
+`, Options{})
+	ans := solve(t, e, "?- tc(a, Y).")
+	if len(ans) != 2 {
+		t.Fatalf("left-recursive tc(a,Y) = %v", ans)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	e := engine(t, sortSrc, Options{MaxSteps: 10})
+	q, _ := lang.ParseQuery("?- isort([5,7,1,2,9,4], Ys).")
+	_, err := e.Solve(q.Goals[0])
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestGroundQuerySucceedsOrFails(t *testing.T) {
+	e := engine(t, sortSrc, Options{})
+	ans := solve(t, e, "?- isort([2,1], [1,2]).")
+	if len(ans) != 1 {
+		t.Errorf("ground true query: %v", ans)
+	}
+	ans = solve(t, e, "?- isort([2,1], [2,1]).")
+	if len(ans) != 0 {
+		t.Errorf("ground false query: %v", ans)
+	}
+}
+
+func TestSolveOne(t *testing.T) {
+	e := engine(t, sortSrc, Options{})
+	q, _ := lang.ParseQuery("?- isort([3,1,2], Ys).")
+	first, ok, err := e.SolveOne(q.Goals[0])
+	if err != nil || !ok {
+		t.Fatalf("SolveOne: ok=%v err=%v", ok, err)
+	}
+	if !term.Equal(first[1], term.IntList(1, 2, 3)) {
+		t.Errorf("first = %v", first)
+	}
+	q2, _ := lang.ParseQuery("?- isort([], [1]).")
+	_, ok, err = e.SolveOne(q2.Goals[0])
+	if err != nil || ok {
+		t.Errorf("SolveOne on false goal: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTableReuse(t *testing.T) {
+	e := engine(t, sgSrc, Options{})
+	solve(t, e, "?- sg(c1, Y).")
+	before := e.Stats().Steps
+	solve(t, e, "?- sg(c1, Y).")
+	after := e.Stats().Steps
+	if after-before > before {
+		t.Errorf("second identical query did %d steps (first %d); table not reused", after-before, before)
+	}
+	e.Reset()
+	if e.Stats().Steps != 0 || len(e.table) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	e := engine(t, sortSrc, Options{})
+	solve(t, e, "?- isort([5,7,1], Ys).")
+	st := e.Stats()
+	if st.Steps == 0 || st.Calls == 0 || st.Passes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNestedListsSortStability(t *testing.T) {
+	// isort of an already sorted list is identity.
+	e := engine(t, sortSrc, Options{})
+	for n := 0; n <= 8; n++ {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		goal := program.NewAtom("isort", term.IntList(vals...), term.NewVar("Ys"))
+		ans, err := e.Solve(goal)
+		if err != nil || len(ans) != 1 {
+			t.Fatalf("n=%d: ans=%v err=%v", n, ans, err)
+		}
+		if !term.Equal(ans[0][1], term.IntList(vals...)) {
+			t.Errorf("n=%d: %v", n, ans[0][1])
+		}
+	}
+}
+
+func TestDeterministicAnswerOrder(t *testing.T) {
+	mk := func() string {
+		e := engine(t, sgSrc, Options{})
+		ans := solve(t, e, "?- sg(c1, Y).")
+		return fmt.Sprint(ans)
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("nondeterministic answers:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,169 @@
+package chainsplit
+
+import (
+	"sync"
+	"testing"
+)
+
+func preludeDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.Exec(Prelude); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPreludeMember(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- member(X, [1,2,3]).")
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("member: %v %v", res, err)
+	}
+	res, err = db.Query("?- member(2, [1,2,3]).")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("member check: %v %v", res, err)
+	}
+	res, err = db.Query("?- member(9, [1,2,3]).")
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("member negative: %v %v", res, err)
+	}
+}
+
+func TestPreludeSelect(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- select(X, [1,2,3], Rest).")
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("select: %v %v", res, err)
+	}
+}
+
+func TestPreludePermBothWays(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- perm([1,2,3], P).")
+	if err != nil || len(res.Rows) != 6 {
+		t.Fatalf("perm forward: %d rows, err %v", len(res.Rows), err)
+	}
+	res, err = db.Query("?- perm(P, [1,2,3]).")
+	if err != nil || len(res.Rows) != 6 {
+		t.Fatalf("perm backward: %d rows, err %v", len(res.Rows), err)
+	}
+}
+
+func TestPreludeReverse(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- reverse([1,2,3], R).")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0]["R"].String() != "[3, 2, 1]" {
+		t.Fatalf("reverse: %v %v", res, err)
+	}
+	res, err = db.Query("?- reverse([], R).")
+	if err != nil || res.Rows[0]["R"].String() != "[]" {
+		t.Fatalf("reverse empty: %v %v", res, err)
+	}
+}
+
+func TestPreludeNth(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- nth(1, [7,8,9], X).")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0]["X"].String() != "8" {
+		t.Fatalf("nth: %v %v", res, err)
+	}
+	res, err = db.Query("?- nth(5, [7,8,9], X).")
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("nth out of range: %v %v", res, err)
+	}
+}
+
+func TestPreludeRange(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- range(4, B).")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0]["B"].String() != "[4, 3, 2, 1]" {
+		t.Fatalf("range: %v %v", res, err)
+	}
+}
+
+func TestWithLimit(t *testing.T) {
+	db := preludeDB(t)
+	res, err := db.Query("?- perm([1,2,3,4], P).", WithLimit(1))
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("limit: %d rows, err %v", len(res.Rows), err)
+	}
+}
+
+func TestLoadFacts(t *testing.T) {
+	db := Open()
+	if err := db.LoadFacts("edge", [][]Term{
+		{Sym("a"), Sym("b")},
+		{Sym("b"), Sym("c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- edge(X,Z), reach(Z,Y).")
+	res, err := db.Query("?- reach(a, Y).")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("reach: %v %v", res, err)
+	}
+	// Arity mismatch and non-ground tuples rejected.
+	if err := db.LoadFacts("edge", [][]Term{{Sym("x")}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	v, _ := ParseTerm("X")
+	if err := db.LoadFacts("e2", [][]Term{{v, Sym("y")}}); err == nil {
+		t.Error("non-ground tuple accepted")
+	}
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+@threshold split 4.
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+lists([1, 2, 3]).
+isolated(X) :- node(X), \+ reach(a, X).
+node(a). node(d).
+edge(a, b). edge(b, c).
+`)
+	path := t.TempDir() + "/saved.dl"
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	if err := db2.ExecFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"?- reach(a, Y).", "?- lists(L).", "?- isolated(X)."} {
+		r1, err1 := db.Query(q)
+		r2, err2 := db2.Query(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v / %v", q, err1, err2)
+		}
+		if len(r1.Rows) != len(r2.Rows) {
+			t.Errorf("%s: %d vs %d rows after restore", q, len(r1.Rows), len(r2.Rows))
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	db := preludeDB(t)
+	db.MustExec("edge(a, b). edge(b, c).")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if i%2 == 0 {
+					if _, err := db.Query("?- member(X, [1,2,3])."); err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+				} else if err := db.Exec("% comment only\n"); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
