@@ -1,0 +1,24 @@
+# Tier-1 verification targets. `make check` is the full gate: static
+# vetting plus the race-enabled test suite (the resilience layer is
+# concurrency-sensitive — cancellation races against evaluation).
+
+GO ?= go
+
+.PHONY: build test check vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -8,7 +8,7 @@ import (
 
 func TestQueryArgs(t *testing.T) {
 	db := Open()
-	db.MustExec(`
+	mustExec(t, db, `
 sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
 sg(X, Y) :- sibling(X, Y).
 parent(ann, alice). parent(bob, ben).
@@ -23,7 +23,7 @@ sibling(alice, ben).
 	}
 	// Lists and multiple placeholders.
 	db2 := Open()
-	db2.MustExec("append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	mustExec(t, db2, "append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
 	res, err = db2.QueryArgs("?- append(?, ?, W).", []Term{IntList(1, 2), IntList(3)})
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +40,7 @@ sibling(alice, ben).
 	}
 	// '?' inside a string literal is not a placeholder.
 	db3 := Open()
-	db3.MustExec(`msg("what?").`)
+	mustExec(t, db3, `msg("what?").`)
 	res, err = db3.QueryArgs(`?- msg(?).`, []Term{Str("what?")})
 	if err != nil || len(res.Rows) != 1 {
 		t.Errorf("string placeholder: %v %v", res, err)
@@ -49,7 +49,7 @@ sibling(alice, ben).
 
 func TestErrNotFinitelyEvaluableExported(t *testing.T) {
 	db := Open()
-	db.MustExec("append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	mustExec(t, db, "append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
 	_, err := db.Query("?- append(U, [3], W).")
 	if !errors.Is(err, ErrNotFinitelyEvaluable) {
 		t.Errorf("errors.Is failed: %v", err)
@@ -74,7 +74,7 @@ func TestRegisterBuiltin(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := Open()
-	db.MustExec(`
+	mustExec(t, db, `
 shout([], []).
 shout([X|Xs], [Y|Ys]) :- upper(X, Y), shout(Xs, Ys).
 `)

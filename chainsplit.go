@@ -27,17 +27,33 @@
 //	`)
 //	res, err := db.Query("?- append([1,2], [3], W).")
 //	for _, row := range res.Rows { fmt.Println(row["W"]) }
+//
+// Queries are interruptible and crash-contained: QueryCtx accepts a
+// context for cancellation, WithTimeout sets a per-query deadline, and
+// failures come back as typed errors (ErrDeadline, ErrBudget, …)
+// wrapped in a structured *EvalError — never as a panic:
+//
+//	ctx, cancel := context.WithCancel(context.Background())
+//	defer cancel()
+//	res, err := db.QueryCtx(ctx, "?- travel(L, yvr, DT, A, AT, F).",
+//	    chainsplit.WithTimeout(100*time.Millisecond))
+//	if errors.Is(err, chainsplit.ErrDeadline) {
+//	    // the cyclic flight graph diverged; the query was stopped
+//	}
 package chainsplit
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/core"
 	"chainsplit/internal/cost"
+	"chainsplit/internal/everr"
 	"chainsplit/internal/lang"
 	"chainsplit/internal/program"
 	"chainsplit/internal/term"
@@ -103,6 +119,14 @@ func WithBudgets(maxTuples, maxSteps, maxAnswers int) Option {
 	}
 }
 
+// WithTimeout bounds the query's wall-clock time: evaluation stops
+// with an error matching ErrDeadline once d has passed. It composes
+// with QueryCtx — whichever of the context and the timeout expires
+// first wins.
+func WithTimeout(d time.Duration) Option {
+	return func(o *core.Options) { o.Timeout = d }
+}
+
 // WithTrace records per-iteration (bottom-up) or per-level (buffered)
 // profiles in the result metrics.
 func WithTrace() Option {
@@ -150,9 +174,25 @@ type DB struct {
 // Open returns an empty database.
 func Open() *DB { return &DB{inner: core.NewDB()} }
 
+// apiRecover converts a panic escaping the public API into an
+// *EvalError matching ErrPanic, so callers see a structured failure
+// instead of a crashed process. It must be installed with defer on a
+// named error return.
+func apiRecover(err *error) {
+	if r := recover(); r != nil {
+		*err = &core.EvalError{
+			Strategy: "api",
+			PanicVal: r,
+			Stack:    string(debug.Stack()),
+			Err:      everr.ErrPanic,
+		}
+	}
+}
+
 // Exec parses and loads rules, facts and pragmas. Queries (?- …) in
 // the source are rejected — use Query for those.
-func (db *DB) Exec(src string) error {
+func (db *DB) Exec(src string) (err error) {
+	defer apiRecover(&err)
 	res, err := lang.Parse(src)
 	if err != nil {
 		return err
@@ -190,56 +230,63 @@ func (db *DB) ExecFile(path string) error {
 	return nil
 }
 
-// MustExec is Exec that panics on error, for tests and examples.
-func (db *DB) MustExec(src string) {
-	if err := db.Exec(src); err != nil {
-		panic(err)
-	}
-}
-
 // Query parses and evaluates a query, e.g. "?- sg(ann, Y)." (the ?-
 // and trailing period are optional). Conjunctive queries with builtin
 // constraints are supported: "?- travel(L, yvr, DT, A, AT, F), F =< 600."
+//
+// Query is QueryCtx with a background context; use QueryCtx to make
+// the evaluation cancelable, or WithTimeout to bound it.
 func (db *DB) Query(q string, options ...Option) (*Result, error) {
+	return db.QueryCtx(context.Background(), q, options...)
+}
+
+// QueryCtx is Query under a context: evaluation stops with an error
+// matching ErrCanceled (or ErrDeadline, for a context deadline) soon
+// after ctx is done, for every evaluation strategy. A nil ctx is
+// treated as context.Background().
+func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *Result, err error) {
+	defer apiRecover(&err)
 	goals, opts, err := db.prepare(q, options)
 	if err != nil {
 		return nil, err
 	}
+	opts.Ctx = ctx
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	res, err := db.inner.Query(goals, opts)
+	inner, err := db.inner.Query(goals, opts)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
-		Vars:     res.Vars,
-		Tuples:   res.Answers,
-		Metrics:  res.Metrics,
-		Duration: res.Metrics.Duration,
+		Vars:     inner.Vars,
+		Tuples:   inner.Answers,
+		Metrics:  inner.Metrics,
+		Duration: inner.Metrics.Duration,
 	}
-	if res.Plan != nil {
-		out.Plan = res.Plan.String()
-		out.Strategy = res.Plan.Strategy
+	if inner.Plan != nil {
+		out.Plan = inner.Plan.String()
+		out.Strategy = inner.Plan.Strategy
 	}
-	for _, b := range res.Bindings {
+	for _, b := range inner.Bindings {
 		out.Rows = append(out.Rows, Row(b))
 	}
 	return out, nil
 }
 
 // Explain plans a query without executing it and renders the plan.
-func (db *DB) Explain(q string, options ...Option) (string, error) {
+func (db *DB) Explain(q string, options ...Option) (plan string, err error) {
+	defer apiRecover(&err)
 	goals, opts, err := db.prepare(q, options)
 	if err != nil {
 		return "", err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	plan, err := db.inner.Explain(goals, opts)
+	p, err := db.inner.Explain(goals, opts)
 	if err != nil {
 		return "", err
 	}
-	return plan.String(), nil
+	return p.String(), nil
 }
 
 func (db *DB) prepare(q string, options []Option) ([]program.Atom, core.Options, error) {

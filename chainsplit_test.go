@@ -72,7 +72,7 @@ func TestExecFile(t *testing.T) {
 
 func TestOptionsPlumbing(t *testing.T) {
 	db := Open()
-	db.MustExec(`
+	mustExec(t, db, `
 sg(X, Y) :- parent(X, X1), sg(X1, Y1), parent(Y, Y1).
 sg(X, Y) :- sibling(X, Y).
 parent(c1, p1). parent(c2, p2). parent(p1, g1). parent(p2, g1).
@@ -97,7 +97,7 @@ sibling(p1, p2).
 
 func TestExplainAPI(t *testing.T) {
 	db := Open()
-	db.MustExec("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).\ne(a,b).")
+	mustExec(t, db, "tc(X,Y) :- e(X,Y).\ntc(X,Y) :- e(X,Z), tc(Z,Y).\ne(a,b).")
 	plan, err := db.Explain("?- tc(a, Y).")
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +125,7 @@ func TestPaperHeadlineExamples(t *testing.T) {
 	// The paper's two Section 4 traces, end to end through the public
 	// API.
 	db := Open()
-	db.MustExec(`
+	mustExec(t, db, `
 isort([X|Xs], Ys) :- isort(Xs, Zs), insert(X, Zs, Ys).
 isort([], []).
 insert(X, [], [X]).
@@ -154,7 +154,7 @@ append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
 
 func TestQueryErrorSurface(t *testing.T) {
 	db := Open()
-	db.MustExec("append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	mustExec(t, db, "append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
 	if _, err := db.Query("?- append(U, [3], W)."); err == nil {
 		t.Error("infinitely evaluable query accepted")
 	}

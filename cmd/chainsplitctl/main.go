@@ -8,15 +8,22 @@
 //	chainsplitctl -explain -q '…' prog.dl      # print the plan only
 //	chainsplitctl -i prog.dl                   # REPL on stdin
 //	chainsplitctl -strategy magic-follow …     # force a strategy
+//	chainsplitctl -timeout 500ms -q '…' …      # bound query wall-clock time
+//	chainsplitctl -max-tuples 100000 -q '…' …  # bound derived tuples
+//
+// When -timeout or the tuple budget stops a query, the command prints
+// a one-line diagnostic and exits with status 2.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"chainsplit"
 )
@@ -41,11 +48,19 @@ func main() {
 	dump := flag.Bool("dump", false, "print the loaded program and exit")
 	compile := flag.String("compile", "", "print the compiled chain form of pred/arity and exit")
 	facts := flag.String("facts", "", "bulk-load tab-separated facts: pred=path.tsv (may repeat comma-separated)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 10s); 0 means none")
+	maxTuples := flag.Int("max-tuples", 0, "bound on derived tuples per query; 0 keeps the default")
 	flag.Parse()
 
 	strat, ok := strategies[*strategyName]
 	if !ok {
 		fail("unknown strategy %q", *strategyName)
+	}
+	if *timeout < 0 {
+		fail("negative -timeout %v (use 0 for no deadline)", *timeout)
+	}
+	if *maxTuples < 0 {
+		fail("negative -max-tuples %d (use 0 for the default)", *maxTuples)
 	}
 
 	db := chainsplit.Open()
@@ -90,31 +105,45 @@ func main() {
 		return
 	}
 
-	runOne := func(q string) {
+	runOne := func(q string) error {
 		opts := []chainsplit.Option{chainsplit.WithStrategy(strat)}
 		if *trace {
 			opts = append(opts, chainsplit.WithTrace())
+		}
+		if *timeout > 0 {
+			opts = append(opts, chainsplit.WithTimeout(*timeout))
+		}
+		if *maxTuples > 0 {
+			opts = append(opts, chainsplit.WithBudgets(*maxTuples, 0, 0))
 		}
 		if *explain {
 			plan, err := db.Explain(q, opts...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
-				return
+				return err
 			}
 			fmt.Print(plan)
-			return
+			return nil
 		}
 		res, err := db.Query(q, opts...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			return
+			fmt.Fprintf(os.Stderr, "error: %s\n", limitMessage(err, *timeout))
+			return err
 		}
 		printResult(q, res, *metrics, *trace)
+		return nil
+	}
+	// One-shot modes exit non-zero when a limit stopped the query, so
+	// scripts can tell "no answers" from "gave up".
+	exitOnLimit := func(err error) {
+		if errors.Is(err, chainsplit.ErrDeadline) || errors.Is(err, chainsplit.ErrBudget) {
+			os.Exit(2)
+		}
 	}
 
 	switch {
 	case *query != "":
-		runOne(*query)
+		exitOnLimit(runOne(*query))
 	case *interactive:
 		fmt.Println("chainsplitctl: enter queries (empty line to quit)")
 		sc := bufio.NewScanner(os.Stdin)
@@ -132,11 +161,28 @@ func main() {
 	case len(embedded) > 0:
 		for _, q := range embedded {
 			fmt.Printf("%s\n", q)
-			runOne(q)
+			err := runOne(q)
 			fmt.Println()
+			exitOnLimit(err)
 		}
 	default:
 		fail("no query: pass -q, -i, or a program with embedded ?- queries")
+	}
+}
+
+// limitMessage compresses deadline/budget failures to one clean line
+// (the full EvalError rendering is for programmatic use); other errors
+// pass through unchanged.
+func limitMessage(err error, timeout time.Duration) string {
+	switch {
+	case errors.Is(err, chainsplit.ErrDeadline) && timeout > 0:
+		return fmt.Sprintf("query exceeded the %v deadline (raise -timeout or add constraints)", timeout)
+	case errors.Is(err, chainsplit.ErrDeadline):
+		return "query exceeded its deadline (raise -timeout or add constraints)"
+	case errors.Is(err, chainsplit.ErrBudget):
+		return "query exceeded its evaluation budget (raise -max-tuples or add constraints)"
+	default:
+		return err.Error()
 	}
 }
 

@@ -1,0 +1,40 @@
+package chainsplit
+
+import (
+	"chainsplit/internal/core"
+	"chainsplit/internal/everr"
+)
+
+// The evaluation error taxonomy. Every failure returned by Query /
+// QueryCtx / Exec / Explain matches (errors.Is) exactly one of these
+// sentinels, whichever engine produced it:
+//
+//	ErrCanceled  the context passed to QueryCtx was canceled
+//	ErrDeadline  the WithTimeout (or context) deadline passed
+//	ErrBudget    an iteration/tuple/step/answer budget was exceeded
+//	ErrUnsafe    the query is not safely (finitely) evaluable
+//	ErrPlan      planning or chain compilation failed
+//
+// ErrPanic additionally marks internal invariant violations that were
+// contained at the API boundary instead of crashing the process.
+var (
+	ErrCanceled = everr.ErrCanceled
+	ErrDeadline = everr.ErrDeadline
+	ErrBudget   = everr.ErrBudget
+	ErrUnsafe   = everr.ErrUnsafe
+	ErrPlan     = everr.ErrPlan
+	ErrPanic    = everr.ErrPanic
+)
+
+// EvalError is the structured failure attached to every evaluation
+// error: the strategy that was running, the queried predicate, the
+// iteration/step count reached, and — for contained panics — the panic
+// value and stack. Retrieve it with errors.As:
+//
+//	res, err := db.QueryCtx(ctx, "?- travel(L, yvr, DT, A, AT, F).")
+//	var ee *chainsplit.EvalError
+//	if errors.As(err, &ee) {
+//	    log.Printf("strategy %s failed on %s at iteration %d: %v",
+//	        ee.Strategy, ee.Pred, ee.Iteration, ee.Err)
+//	}
+type EvalError = core.EvalError

@@ -6,10 +6,17 @@ import (
 	"chainsplit"
 )
 
+// mustExec loads src, panicking on error — examples have no *testing.T.
+func mustExec(db *chainsplit.DB, src string) {
+	if err := db.Exec(src); err != nil {
+		panic(err)
+	}
+}
+
 // The basic flow: load rules, query, read rows.
 func Example() {
 	db := chainsplit.Open()
-	db.MustExec(`
+	mustExec(db, `
 		append([], L, L).
 		append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
 	`)
@@ -22,7 +29,7 @@ func Example() {
 // chain-split magic sets.
 func ExampleDB_Query_recursion() {
 	db := chainsplit.Open()
-	db.MustExec(`
+	mustExec(db, `
 		anc(X, Y) :- par(X, Y).
 		anc(X, Y) :- par(X, Z), anc(Z, Y).
 		par(ann, bea). par(bea, cid).
@@ -41,7 +48,7 @@ func ExampleDB_Query_recursion() {
 // (Algorithm 3.3).
 func ExampleDB_Query_constraints() {
 	db := chainsplit.Open()
-	db.MustExec(`
+	mustExec(db, `
 		val(1). val(2). val(3). val(4).
 	`)
 	res, _ := db.Query("?- val(X), X =< 2.")
@@ -52,7 +59,7 @@ func ExampleDB_Query_constraints() {
 // Explain shows the compiled chain form and where it was split.
 func ExampleDB_Explain() {
 	db := chainsplit.Open()
-	db.MustExec(`
+	mustExec(db, `
 		append([], L, L).
 		append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
 	`)
@@ -68,7 +75,7 @@ func ExampleDB_Explain() {
 // The Prelude supplies the usual list predicates.
 func ExamplePrelude() {
 	db := chainsplit.Open()
-	db.MustExec(chainsplit.Prelude)
+	mustExec(db, chainsplit.Prelude)
 	res, _ := db.Query("?- reverse([1,2,3], R).")
 	fmt.Println(res.Rows[0]["R"])
 	// Output: [3, 2, 1]
@@ -78,11 +85,11 @@ func ExamplePrelude() {
 // statically rather than run forever.
 func ExampleDB_Query_notFinitelyEvaluable() {
 	db := chainsplit.Open()
-	db.MustExec(`
+	mustExec(db, `
 		append([], L, L).
 		append([X|L1], L2, [X|L3]) :- append(L1, L2, L3).
 	`)
 	_, err := db.Query("?- append(U, [3], W).")
 	fmt.Println(err)
-	// Output: query is not finitely evaluable: append/3 under adornment fbf (append/3^fbf is infinitely evaluable: rule "append(_F1, L2, _F2) :- cons(X, L1, _F1), cons(X, L3, _F2), append(L1, L2, L3).": cons(X, L1, _F1) is not finitely evaluable in any order; cons(X, L3, _F2) is not finitely evaluable in any order; append(L1, L2, L3) is not finitely evaluable in any order)
+	// Output: query is not finitely evaluable: append/3 under adornment fbf (append/3^fbf is infinitely evaluable: rule "append(_F1, L2, _F2) :- cons(X, L1, _F1), cons(X, L3, _F2), append(L1, L2, L3).": cons(X, L1, _F1) is not finitely evaluable in any order; cons(X, L3, _F2) is not finitely evaluable in any order; append(L1, L2, L3) is not finitely evaluable in any order) [strategy=plan pred=append/3]
 }

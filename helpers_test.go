@@ -1,0 +1,11 @@
+package chainsplit
+
+import "testing"
+
+// mustExec loads src into db, failing the test on error.
+func mustExec(t *testing.T, db *DB, src string) {
+	t.Helper()
+	if err := db.Exec(src); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+}

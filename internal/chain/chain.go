@@ -18,11 +18,14 @@
 package chain
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"chainsplit/internal/adorn"
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
 	"chainsplit/internal/program"
 	"chainsplit/internal/term"
 )
@@ -102,6 +105,16 @@ func (c *Compiled) String() string {
 // structure recovered depends on the class (nonlinear rules get their
 // CGPs too, with RecIdx listing all recursive literals).
 func Compile(p *program.Program, g *program.DepGraph, key string) (*Compiled, error) {
+	return CompileCtx(nil, p, g, key)
+}
+
+// CompileCtx is Compile with a cancellation context, checked per rule
+// so even compilation of very large programs stays interruptible. A
+// nil context is never checked.
+func CompileCtx(ctx context.Context, p *program.Program, g *program.DepGraph, key string) (*Compiled, error) {
+	if err := faultinject.Fire(faultinject.SiteChainCompile); err != nil {
+		return nil, fmt.Errorf("chain: compilation of %s failed: %w", key, err)
+	}
 	rules := p.RulesFor(key)
 	if len(rules) == 0 {
 		return nil, fmt.Errorf("chain: no rules for %s", key)
@@ -117,6 +130,9 @@ func Compile(p *program.Program, g *program.DepGraph, key string) (*Compiled, er
 		Class: program.Classify(p, g, key),
 	}
 	for _, r := range rules {
+		if err := everr.Check(ctx); err != nil {
+			return nil, err
+		}
 		var recIdx []int
 		for i, b := range r.Body {
 			if !b.IsBuiltin() && g.SameSCC(b.Key(), key) {
@@ -335,3 +351,7 @@ func (e *NotFinitelyEvaluableError) Error() string {
 	}
 	return msg
 }
+
+// Unwrap classifies the failure under the shared taxonomy: a rule that
+// cannot be finitely evaluated is an ErrUnsafe condition.
+func (e *NotFinitelyEvaluableError) Unwrap() error { return everr.ErrUnsafe }

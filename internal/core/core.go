@@ -22,8 +22,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"chainsplit/internal/chain"
 	"chainsplit/internal/cost"
 	"chainsplit/internal/counting"
+	"chainsplit/internal/everr"
 	"chainsplit/internal/magic"
 	"chainsplit/internal/partial"
 	"chainsplit/internal/program"
@@ -80,19 +83,32 @@ func (s Strategy) String() string {
 }
 
 // ErrNotFinitelyEvaluable is wrapped by errors reporting statically
-// infinite queries.
-var ErrNotFinitelyEvaluable = errors.New("query is not finitely evaluable")
+// infinite queries. It wraps everr.ErrUnsafe, the public taxonomy's
+// safety sentinel.
+var ErrNotFinitelyEvaluable = everr.Tag("query is not finitely evaluable", everr.ErrUnsafe)
+
+// EvalError is the structured evaluation failure attached to every
+// error crossing the public API; see everr.EvalError.
+type EvalError = everr.EvalError
 
 // Options configures planning and execution.
 type Options struct {
 	// Strategy overrides the planner's choice.
 	Strategy Strategy
+	// Ctx, when non-nil, cancels evaluation: engines check it at
+	// iteration/level/step boundaries and return everr.ErrCanceled or
+	// everr.ErrDeadline.
+	Ctx context.Context
+	// Timeout, when positive, derives a deadline context from Ctx (or
+	// context.Background()) for this call.
+	Timeout time.Duration
 	// Thresholds for Algorithm 3.1 (zero → cost.DefaultThresholds).
 	Thresholds cost.Thresholds
 	// CostDepth is the recursion-depth estimate for the quantitative
 	// comparison (0 = model default).
 	CostDepth int
-	// Budgets (0 = per-engine defaults).
+	// Budgets (0 = the package limits defaults, e.g.
+	// limits.DefaultMaxIterations / limits.DefaultMaxTuples).
 	MaxIterations int
 	MaxTuples     int
 	MaxSteps      int
@@ -105,6 +121,10 @@ type Options struct {
 	// conclusion calls for integrating chain-split evaluation with
 	// existence checking.
 	Limit int
+	// fallbackRerun marks the internal semi-naive re-run after a failed
+	// StrategyAuto plan; it suppresses chain compilation (whose failure
+	// may be what triggered the fallback) and further fallbacks.
+	fallbackRerun bool
 }
 
 // Metrics aggregates engine statistics (fields are zero when the
@@ -133,6 +153,13 @@ type Metrics struct {
 	Steps     int
 	Calls     int
 	TableHits int
+
+	// Resilience: when StrategyAuto re-ran the query via plain
+	// semi-naive after the planned strategy failed, FallbackFrom names
+	// the strategy (or "plan" for a planning/compilation failure) and
+	// FallbackReason carries the original error.
+	FallbackFrom   string
+	FallbackReason string
 }
 
 // Plan describes what the planner decided, for Explain output.
@@ -284,11 +311,24 @@ func goalAndConstraints(goals []program.Atom) (program.Atom, []program.Atom, err
 	}
 }
 
-// Query plans and executes a conjunctive query.
+// Query plans and executes a conjunctive query. Failures cross this
+// boundary as a structured *EvalError wrapping one of the everr
+// taxonomy sentinels; internal panics are contained (one bad query
+// must not take the process down), and a failed StrategyAuto plan
+// falls back to plain semi-naive evaluation where that is sound.
 func (db *DB) Query(goals []program.Atom, opts Options) (*Result, error) {
 	start := time.Now()
 	opts = db.applyPragmas(opts)
-	res, err := db.query(goals, opts)
+	if opts.Timeout > 0 {
+		base := opts.Ctx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, opts.Timeout)
+		defer cancel()
+		opts.Ctx = ctx
+	}
+	res, err := db.queryWithFallback(goals, opts)
 	if res != nil {
 		if opts.Limit > 0 && len(res.Answers) > opts.Limit {
 			res.Answers = res.Answers[:opts.Limit]
@@ -296,7 +336,119 @@ func (db *DB) Query(goals []program.Atom, opts Options) (*Result, error) {
 		res.Metrics.Duration = time.Since(start)
 		res.finish(goals)
 	}
+	if err != nil {
+		err = wrapEvalError(err, goals, res)
+	}
 	return res, err
+}
+
+// wrapEvalError attaches strategy/predicate/progress context to an
+// evaluation failure, unless it already carries it.
+func wrapEvalError(err error, goals []program.Atom, res *Result) error {
+	var ee *EvalError
+	if errors.As(err, &ee) {
+		return err
+	}
+	e := &EvalError{Strategy: "plan", Err: err}
+	if g, _, gerr := goalAndConstraints(goals); gerr == nil {
+		e.Pred = g.Key()
+	} else if len(goals) > 0 {
+		e.Pred = goals[0].Key()
+	}
+	if res != nil {
+		if res.Plan != nil && res.Plan.Strategy != StrategyAuto {
+			e.Strategy = res.Plan.Strategy.String()
+		}
+		e.Iteration = res.Metrics.Iterations
+		if e.Iteration == 0 {
+			e.Iteration = res.Metrics.Steps
+		}
+	}
+	return e
+}
+
+// queryWithFallback implements graceful degradation: when the planner
+// chose a chain-split strategy (magic or buffered) under StrategyAuto
+// and it failed for a reason other than exhaustion or cancellation —
+// including a contained panic — the query is re-run with plain
+// semi-naive evaluation, the always-applicable bottom-up baseline for
+// function-free programs, and the metrics record the degradation.
+func (db *DB) queryWithFallback(goals []program.Atom, opts Options) (*Result, error) {
+	res, err := db.queryContained(goals, opts)
+	if err == nil || opts.Strategy != StrategyAuto || opts.fallbackRerun {
+		return res, err
+	}
+	from, ok := fallbackFrom(res, err)
+	if !ok {
+		return res, err
+	}
+	fopts := opts
+	fopts.Strategy = StrategySeminaive
+	fopts.fallbackRerun = true
+	res2, err2 := db.queryContained(goals, fopts)
+	if err2 != nil {
+		// The baseline failed too: surface the original failure.
+		return res, err
+	}
+	res2.Metrics.FallbackFrom = from
+	res2.Metrics.FallbackReason = err.Error()
+	if res2.Plan != nil {
+		res2.Plan.Notes = append(res2.Plan.Notes,
+			fmt.Sprintf("fell back to semi-naive from %s: %v", from, err))
+	}
+	return res2, nil
+}
+
+// fallbackFrom decides whether a StrategyAuto failure is eligible for
+// the semi-naive fallback and names the strategy degraded from.
+// Budget, cancellation and deadline failures are not eligible (the
+// baseline would only burn the same budget again), nor are static
+// finiteness rejections (a property of the query, not the plan), nor
+// failures of semi-naive or top-down themselves (no safer baseline
+// exists below them).
+func fallbackFrom(res *Result, err error) (string, bool) {
+	if errors.Is(err, everr.ErrBudget) || errors.Is(err, everr.ErrCanceled) ||
+		errors.Is(err, everr.ErrDeadline) || errors.Is(err, ErrNotFinitelyEvaluable) {
+		return "", false
+	}
+	if res == nil || res.Plan == nil {
+		return "plan", true
+	}
+	switch res.Plan.Strategy {
+	case StrategyMagic, StrategyMagicFollow, StrategyMagicSplit, StrategyBuffered:
+		return res.Plan.Strategy.String(), true
+	case StrategyAuto:
+		// Planning failed before a strategy was chosen (e.g. chain
+		// compilation).
+		return "plan", true
+	}
+	return "", false
+}
+
+// queryContained runs the query with panic containment: an internal
+// invariant violation in any engine is recovered here and converted
+// into an *EvalError carrying the panic value and stack, so an engine
+// bug degrades one query instead of crashing the process.
+func (db *DB) queryContained(goals []program.Atom, opts Options) (res *Result, err error) {
+	var pl *Plan
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		strategy := "plan"
+		if pl != nil && pl.Strategy != StrategyAuto {
+			strategy = pl.Strategy.String()
+		}
+		res = &Result{Plan: pl}
+		err = &EvalError{
+			Strategy: strategy,
+			PanicVal: r,
+			Stack:    string(debug.Stack()),
+			Err:      everr.ErrPanic,
+		}
+	}()
+	return db.query(goals, opts, &pl)
 }
 
 // LoadTuples bulk-loads ground tuples into an extensional relation,
@@ -453,8 +605,19 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 			pd.an.Explain(goal.Pred, goal.Arity(), pl.Adornment))
 	}
 
-	comp, err := chain.Compile(db.prog, pd.graph, goal.Key())
-	if err == nil {
+	var comp *chain.Compiled
+	if !opts.fallbackRerun {
+		// The fallback re-run skips chain compilation: semi-naive does
+		// not need the chain form, and a compilation failure may be the
+		// very reason the fallback is running.
+		var err error
+		comp, err = chain.CompileCtx(opts.Ctx, db.prog, pd.graph, goal.Key())
+		if err != nil {
+			if errors.Is(err, everr.ErrCanceled) || errors.Is(err, everr.ErrDeadline) {
+				return pl, nil, err
+			}
+			return pl, nil, fmt.Errorf("%w: %v", everr.ErrPlan, err)
+		}
 		pd.comp = comp
 		pl.NChains = comp.NChains()
 	}
@@ -641,13 +804,23 @@ func (db *DB) reachesFunctional(key string, g *program.DepGraph) bool {
 	return false
 }
 
-func (db *DB) query(goals []program.Atom, opts Options) (*Result, error) {
+// query plans and dispatches one query. track, when non-nil, receives
+// the plan as soon as it exists, so the panic-containment layer can
+// attribute a recovered panic to the strategy that was running.
+func (db *DB) query(goals []program.Atom, opts Options, track **Plan) (*Result, error) {
+	setTrack := func(pl *Plan) {
+		if track != nil && pl != nil {
+			*track = pl
+		}
+	}
 	goal, cons, err := goalAndConstraints(goals)
 	if err != nil {
 		// General conjunction: evaluate top-down.
+		setTrack(&Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)})
 		return db.runTopDownConjunction(goals, opts)
 	}
 	pl, pd, err := db.plan(goal, cons, opts)
+	setTrack(pl)
 	if err != nil {
 		return &Result{Plan: pl}, err
 	}
@@ -662,10 +835,12 @@ func (db *DB) query(goals []program.Atom, opts Options) (*Result, error) {
 		return db.runMagic(res, pd, opts)
 	case StrategyBuffered:
 		r, err := db.runBuffered(res, pd, opts)
-		if err != nil && !errors.Is(err, counting.ErrBudget) {
+		if err != nil && !errors.Is(err, counting.ErrBudget) &&
+			!errors.Is(err, everr.ErrCanceled) && !errors.Is(err, everr.ErrDeadline) {
 			// Fall back to top-down scheduling (e.g. exit rules not
 			// schedulable under this adornment, or a nonlinear rule).
 			note := fmt.Sprintf("buffered evaluation failed (%v); fell back to top-down", err)
+			setTrack(&Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)})
 			r2, err2 := db.runTopDownConjunction(goals, opts)
 			if r2 != nil && r2.Plan != nil {
 				r2.Plan.Notes = append(r2.Plan.Notes, note)
@@ -718,6 +893,7 @@ func (db *DB) runEDBLookup(res *Result, goal program.Atom, cons []program.Atom) 
 func (db *DB) runSeminaive(res *Result, goal program.Atom, cons []program.Atom, opts Options) (*Result, error) {
 	cat := db.cat.Clone()
 	stats, err := seminaive.Eval(db.prog, cat, seminaive.Options{
+		Ctx:           opts.Ctx,
 		MaxIterations: opts.MaxIterations,
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
@@ -752,7 +928,7 @@ func (db *DB) runSeminaive(res *Result, goal program.Atom, cons []program.Atom, 
 }
 
 func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) {
-	cfg := magic.Config{Thresholds: opts.Thresholds, Supplementary: true}
+	cfg := magic.Config{Thresholds: opts.Thresholds, Supplementary: true, Ctx: opts.Ctx}
 	switch pd.strategy {
 	case StrategyMagicFollow:
 		cfg.Policy = magic.PolicyFollow
@@ -776,6 +952,7 @@ func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) 
 		}
 		if len(phase1.Rules) > 0 {
 			p1stats, err := seminaive.Eval(phase1, cat, seminaive.Options{
+				Ctx:           opts.Ctx,
 				MaxIterations: opts.MaxIterations,
 				MaxTuples:     opts.MaxTuples,
 			})
@@ -796,6 +973,7 @@ func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) 
 	}
 	res.Plan.Decisions = rw.Decisions
 	stats, err := seminaive.Eval(rw.Program, cat, seminaive.Options{
+		Ctx:           opts.Ctx,
 		MaxIterations: opts.MaxIterations,
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
@@ -826,6 +1004,7 @@ func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) 
 
 func (db *DB) runBuffered(res *Result, pd *planned, opts Options) (*Result, error) {
 	copts := counting.Options{
+		Ctx:        opts.Ctx,
 		MaxLevels:  opts.MaxLevels,
 		MaxAnswers: opts.MaxAnswers,
 		Trace:      opts.TraceDeltas,
@@ -855,7 +1034,7 @@ func (db *DB) runBuffered(res *Result, pd *planned, opts Options) (*Result, erro
 
 func (db *DB) runTopDownConjunction(goals []program.Atom, opts Options) (*Result, error) {
 	res := &Result{Plan: &Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)}}
-	e := topdown.New(db.prog, db.cat, topdown.Options{MaxSteps: opts.MaxSteps})
+	e := topdown.New(db.prog, db.cat, topdown.Options{Ctx: opts.Ctx, MaxSteps: opts.MaxSteps})
 	answers, err := e.SolveConjunction(goals)
 	st := e.Stats()
 	res.Metrics.Steps = st.Steps

@@ -28,13 +28,16 @@
 package counting
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
 
 	"chainsplit/internal/adorn"
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/chain"
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/limits"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
@@ -43,20 +46,30 @@ import (
 
 // ErrBudget is returned when the down phase exceeds its budget — the
 // runtime signature of a non-terminating chain (e.g. travel on a
-// cyclic flight graph without termination constraints).
-var ErrBudget = errors.New("counting: evaluation budget exceeded")
+// cyclic flight graph without termination constraints). It wraps
+// everr.ErrBudget.
+var ErrBudget = fmt.Errorf("counting: %w", everr.ErrBudget)
 
 // Options configures the evaluator.
 type Options struct {
-	// MaxLevels bounds the down-phase BFS depth (0 = 100000).
+	// Ctx, when non-nil, is checked at level boundaries and
+	// periodically while draining the up-phase worklist: cancellation
+	// and deadlines stop the evaluation with everr.ErrCanceled /
+	// everr.ErrDeadline.
+	Ctx context.Context
+	// MaxLevels bounds the down-phase BFS depth
+	// (0 = limits.DefaultMaxLevels).
 	MaxLevels int
-	// MaxContexts bounds the number of distinct contexts (0 = 2e6).
+	// MaxContexts bounds the number of distinct contexts
+	// (0 = limits.DefaultMaxContexts).
 	MaxContexts int
-	// MaxEdges bounds the number of buffered edges (0 = 5e6).
+	// MaxEdges bounds the number of buffered edges
+	// (0 = limits.DefaultMaxEdges).
 	MaxEdges int
 	// MaxAnswers bounds the total number of answers across contexts
-	// (0 = 1e6). A cyclic chain with ever-growing answers (e.g. travel
-	// routes on a cyclic flight graph) trips this budget.
+	// (0 = limits.DefaultMaxAnswers). A cyclic chain with ever-growing
+	// answers (e.g. travel routes on a cyclic flight graph) trips this
+	// budget.
 	MaxAnswers int
 	// Trace records the per-level profile (contexts opened and answers
 	// propagated per level) for the figure experiments.
@@ -105,28 +118,28 @@ func (o Options) maxLevels() int {
 	if o.MaxLevels > 0 {
 		return o.MaxLevels
 	}
-	return 100_000
+	return limits.DefaultMaxLevels
 }
 
 func (o Options) maxContexts() int {
 	if o.MaxContexts > 0 {
 		return o.MaxContexts
 	}
-	return 2_000_000
+	return limits.DefaultMaxContexts
 }
 
 func (o Options) maxEdges() int {
 	if o.MaxEdges > 0 {
 		return o.MaxEdges
 	}
-	return 5_000_000
+	return limits.DefaultMaxEdges
 }
 
 func (o Options) maxAnswers() int {
 	if o.MaxAnswers > 0 {
 		return o.MaxAnswers
 	}
-	return 1_000_000
+	return limits.DefaultMaxAnswers
 }
 
 // LevelStats is one row of the trace profile.
@@ -225,7 +238,7 @@ func New(prog *program.Program, cat *relation.Catalog, comp *chain.Compiled, opt
 		prog:      prog,
 		an:        adorn.NewAnalysis(prog),
 		cat:       cat,
-		inner:     topdown.New(prog, cat, topdown.Options{}),
+		inner:     topdown.New(prog, cat, topdown.Options{Ctx: opts.Ctx}),
 		idb:       prog.IDB(),
 		opts:      opts,
 		splits:    make(map[string][]ruleSplit),
@@ -393,6 +406,12 @@ func (ev *Evaluator) down(key, ad string, input []term.Term) (*ctx, error) {
 	}
 	frontier := []*ctx{root}
 	for level := 0; len(frontier) > 0; level++ {
+		if err := everr.Check(ev.opts.Ctx); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Fire(faultinject.SiteCountingLevel); err != nil {
+			return nil, err
+		}
 		if level > ev.opts.maxLevels() {
 			return nil, fmt.Errorf("%w: down phase exceeded %d levels", ErrBudget, ev.opts.maxLevels())
 		}
@@ -424,7 +443,14 @@ func (ev *Evaluator) down(key, ad string, input []term.Term) (*ctx, error) {
 
 // drain processes the up-phase worklist to exhaustion.
 func (ev *Evaluator) drain() error {
-	for len(ev.pending) > 0 {
+	for n := 0; len(ev.pending) > 0; n++ {
+		// Cyclic context graphs can propagate unboundedly; check for
+		// cancellation every few hundred replays.
+		if n&255 == 0 {
+			if err := everr.Check(ev.opts.Ctx); err != nil {
+				return err
+			}
+		}
 		item := ev.pending[len(ev.pending)-1]
 		ev.pending = ev.pending[:len(ev.pending)-1]
 		if err := ev.propagate(item.e, item.ans); err != nil {

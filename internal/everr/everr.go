@@ -1,0 +1,128 @@
+// Package everr defines the engine-wide error taxonomy and the
+// cancellation check shared by every evaluation strategy.
+//
+// Each engine package keeps its own sentinel (seminaive.ErrBudget,
+// counting.ErrBudget, …) for local error construction, but those
+// sentinels all wrap the taxonomy defined here, so callers can classify
+// any evaluation failure with errors.Is against exactly five causes:
+//
+//	ErrCanceled  the caller's context was canceled
+//	ErrDeadline  the caller's deadline (WithTimeout) passed
+//	ErrBudget    an iteration/tuple/step/answer budget was exceeded
+//	ErrUnsafe    the query or a rule is not safely (finitely) evaluable
+//	ErrPlan      planning/compilation failed before evaluation started
+//
+// ErrPanic marks an internal invariant violation that was contained at
+// the API boundary instead of crashing the process; such failures are
+// always delivered as a *EvalError with PanicVal set.
+package everr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = errors.New("evaluation canceled")
+	// ErrDeadline reports that the query's deadline passed.
+	ErrDeadline = errors.New("evaluation deadline exceeded")
+	// ErrBudget reports that an evaluation effort budget was exceeded —
+	// the runtime signature of an infinite (or practically unbounded)
+	// evaluation.
+	ErrBudget = errors.New("evaluation budget exceeded")
+	// ErrUnsafe reports a query or rule that is not safely evaluable
+	// (statically infinite, unschedulable, or unstratified).
+	ErrUnsafe = errors.New("query is not safely evaluable")
+	// ErrPlan reports a failure while planning or compiling, before any
+	// evaluation ran.
+	ErrPlan = errors.New("query planning failed")
+	// ErrPanic marks an internal panic contained at the API boundary.
+	ErrPanic = errors.New("internal error (contained panic)")
+)
+
+// Tag returns an error that renders exactly as msg but matches cause
+// (one of the taxonomy sentinels) under errors.Is — unlike fmt.Errorf
+// with %w, which concatenates both texts.
+func Tag(msg string, cause error) error { return &tagged{msg: msg, cause: cause} }
+
+type tagged struct {
+	msg   string
+	cause error
+}
+
+func (t *tagged) Error() string { return t.msg }
+func (t *tagged) Unwrap() error { return t.cause }
+
+// Check translates the context's state into the taxonomy: nil for a
+// nil or live context, ErrDeadline / ErrCanceled otherwise. Engines
+// call it at iteration/level boundaries so the per-check cost is one
+// atomic load on the hot path.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}
+
+// EvalError is the structured failure report attached to every
+// evaluation error that crosses the public API: the strategy that was
+// running, the queried predicate, how far evaluation got, and — for
+// contained panics — the panic value and stack.
+type EvalError struct {
+	// Strategy names the evaluation strategy (engine) that failed, or
+	// "plan" when planning itself failed.
+	Strategy string
+	// Pred is the queried predicate as "pred/arity", when known.
+	Pred string
+	// Iteration is the iteration/level/step count reached at failure,
+	// when the failing engine reported one (0 otherwise).
+	Iteration int
+	// PanicVal is the recovered panic value for contained panics, nil
+	// for ordinary errors.
+	PanicVal any
+	// Stack is the goroutine stack at the recovery point (contained
+	// panics only).
+	Stack string
+	// Err is the underlying cause; it wraps one of the taxonomy
+	// sentinels, so errors.Is works through an *EvalError.
+	Err error
+}
+
+// Error renders the underlying cause first (so substring matching on
+// engine messages keeps working) followed by the structured context.
+func (e *EvalError) Error() string {
+	msg := "evaluation failed"
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	if e.PanicVal != nil {
+		msg = fmt.Sprintf("%s: %v", msg, e.PanicVal)
+	}
+	var ctx string
+	if e.Strategy != "" {
+		ctx = " strategy=" + e.Strategy
+	}
+	if e.Pred != "" {
+		ctx += " pred=" + e.Pred
+	}
+	if e.Iteration > 0 {
+		ctx += fmt.Sprintf(" iteration=%d", e.Iteration)
+	}
+	if ctx != "" {
+		msg += " [" + ctx[1:] + "]"
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *EvalError) Unwrap() error { return e.Err }

@@ -1,0 +1,75 @@
+package everr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckNilAndLive(t *testing.T) {
+	if err := Check(nil); err != nil {
+		t.Errorf("Check(nil) = %v", err)
+	}
+	if err := Check(context.Background()); err != nil {
+		t.Errorf("Check(live) = %v", err)
+	}
+}
+
+func TestCheckCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Check(ctx); !errors.Is(err, ErrCanceled) {
+		t.Errorf("Check(canceled) = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := Check(ctx); !errors.Is(err, ErrDeadline) {
+		t.Errorf("Check(expired) = %v, want ErrDeadline", err)
+	}
+}
+
+func TestTag(t *testing.T) {
+	err := Tag("custom message", ErrUnsafe)
+	if err.Error() != "custom message" {
+		t.Errorf("Error() = %q, want the message alone", err.Error())
+	}
+	if !errors.Is(err, ErrUnsafe) {
+		t.Error("tagged error lost its cause")
+	}
+	if errors.Is(err, ErrBudget) {
+		t.Error("tagged error matches an unrelated sentinel")
+	}
+}
+
+func TestEvalErrorRendering(t *testing.T) {
+	e := &EvalError{
+		Strategy:  "magic(cost-split)",
+		Pred:      "tc/2",
+		Iteration: 7,
+		Err:       ErrBudget,
+	}
+	msg := e.Error()
+	if !strings.HasPrefix(msg, ErrBudget.Error()) {
+		t.Errorf("cause must render first, got %q", msg)
+	}
+	for _, want := range []string{"strategy=magic(cost-split)", "pred=tc/2", "iteration=7"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(e, ErrBudget) {
+		t.Error("EvalError does not unwrap to its cause")
+	}
+}
+
+func TestEvalErrorPanicRendering(t *testing.T) {
+	e := &EvalError{Strategy: "api", PanicVal: "boom", Err: ErrPanic}
+	if msg := e.Error(); !strings.Contains(msg, "boom") {
+		t.Errorf("panic value missing from %q", msg)
+	}
+}

@@ -1,0 +1,76 @@
+// Package faultinject lets tests force failures at named engine sites
+// to prove the resilience layer works: that cancellation interrupts
+// stalls, that internal panics are contained at the API boundary, and
+// that StrategyAuto degrades to semi-naive evaluation when a clever
+// plan fails.
+//
+// Production code never installs a hook, so the package is inert
+// outside tests: every Fire call is a single atomic load until the
+// first Set. Hooks may return an error (injected failure), panic
+// (injected invariant violation), or block/sleep (injected stall —
+// combine with a context deadline to exercise cancellation).
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The named injection sites wired into the engines. Each site fires at
+// the engine's natural failure boundary: once per chain compilation,
+// magic rewrite, fixpoint round, down-phase level, or resolution step.
+const (
+	SiteChainCompile     = "chain.compile"
+	SiteMagicRewrite     = "magic.rewrite"
+	SiteSeminaiveIterate = "seminaive.iterate"
+	SiteCountingLevel    = "counting.level"
+	SiteTopdownStep      = "topdown.step"
+)
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	hooks   = make(map[string]func() error)
+)
+
+// Set installs hook f at site (replacing any previous hook) and
+// returns a restore function that removes it. Tests should defer the
+// restore.
+func Set(site string, f func() error) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks[site] = f
+	enabled.Store(true)
+	return func() { Clear(site) }
+}
+
+// Clear removes the hook at site, if any.
+func Clear(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, site)
+	enabled.Store(len(hooks) > 0)
+}
+
+// Reset removes every hook.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = make(map[string]func() error)
+	enabled.Store(false)
+}
+
+// Fire invokes the hook installed at site and returns its error. With
+// no hooks installed anywhere it costs one atomic load.
+func Fire(site string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	f := hooks[site]
+	mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}

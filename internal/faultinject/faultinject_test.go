@@ -1,0 +1,58 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInertByDefault(t *testing.T) {
+	if err := Fire(SiteChainCompile); err != nil {
+		t.Errorf("Fire with no hook = %v", err)
+	}
+}
+
+func TestSetFireRestore(t *testing.T) {
+	want := errors.New("injected")
+	restore := Set(SiteMagicRewrite, func() error { return want })
+	if err := Fire(SiteMagicRewrite); !errors.Is(err, want) {
+		t.Errorf("Fire = %v, want the hook's error", err)
+	}
+	if err := Fire(SiteChainCompile); err != nil {
+		t.Errorf("unrelated site fired: %v", err)
+	}
+	restore()
+	if err := Fire(SiteMagicRewrite); err != nil {
+		t.Errorf("Fire after restore = %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	Set(SiteSeminaiveIterate, func() error { return errors.New("x") })
+	Set(SiteTopdownStep, func() error { return errors.New("y") })
+	Reset()
+	for _, site := range []string{SiteSeminaiveIterate, SiteTopdownStep} {
+		if err := Fire(site); err != nil {
+			t.Errorf("Fire(%s) after Reset = %v", site, err)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	Set(SiteCountingLevel, func() error { return errors.New("z") })
+	Clear(SiteCountingLevel)
+	if err := Fire(SiteCountingLevel); err != nil {
+		t.Errorf("Fire after Clear = %v", err)
+	}
+}
+
+func TestHookPanicPropagates(t *testing.T) {
+	restore := Set(SiteChainCompile, func() error { panic("hook panic") })
+	defer restore()
+	defer func() {
+		if r := recover(); r != "hook panic" {
+			t.Errorf("recovered %v, want the hook's panic", r)
+		}
+	}()
+	Fire(SiteChainCompile)
+	t.Error("hook panic did not propagate")
+}

@@ -1,0 +1,35 @@
+// Package limits centralizes the default evaluation budgets shared by
+// every engine and documented on core.Options. A zero budget field
+// anywhere in the system means "use the default named here"; the
+// public sentinel chainsplit.ErrBudget matches (errors.Is) whichever
+// engine trips whichever bound.
+package limits
+
+const (
+	// DefaultMaxIterations bounds fixpoint rounds per SCC in bottom-up
+	// (semi-naive and magic) evaluation.
+	DefaultMaxIterations = 1_000_000
+	// DefaultMaxTuples bounds total derived tuples in bottom-up
+	// evaluation.
+	DefaultMaxTuples = 5_000_000
+	// DefaultMaxSteps bounds literal resolutions in top-down
+	// evaluation.
+	DefaultMaxSteps = 10_000_000
+	// DefaultMaxDepth bounds call nesting in top-down evaluation.
+	DefaultMaxDepth = 1_000_000
+	// DefaultMaxPasses bounds QSQR fixpoint passes in top-down
+	// evaluation.
+	DefaultMaxPasses = 10_000
+	// DefaultMaxLevels bounds the down-phase BFS depth in buffered
+	// chain-split evaluation.
+	DefaultMaxLevels = 100_000
+	// DefaultMaxContexts bounds distinct contexts in buffered
+	// chain-split evaluation.
+	DefaultMaxContexts = 2_000_000
+	// DefaultMaxEdges bounds buffered edges in buffered chain-split
+	// evaluation.
+	DefaultMaxEdges = 5_000_000
+	// DefaultMaxAnswers bounds total answers across contexts in
+	// buffered chain-split evaluation.
+	DefaultMaxAnswers = 1_000_000
+)

@@ -16,6 +16,7 @@
 package magic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,6 +24,8 @@ import (
 	"chainsplit/internal/adorn"
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/cost"
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
@@ -67,6 +70,10 @@ type Config struct {
 	// the answer rule. Purely an optimization: answer sets are
 	// identical either way (the A1 ablation experiment measures it).
 	Supplementary bool
+	// Ctx, when non-nil, is checked before the transform runs (the
+	// rewrite itself is fast; evaluation of the rewritten program gets
+	// the same context through seminaive.Options).
+	Ctx context.Context
 }
 
 // SupName returns the relation name of the i-th supplementary
@@ -185,6 +192,12 @@ func RewriteStratified(p *program.Program, goal program.Atom, cfg Config) (*Rewr
 // rewriteWithIDB is the core transform; idb controls which predicates
 // are magic-rewritten (everything else reads a relation directly).
 func rewriteWithIDB(p *program.Program, goal program.Atom, cfg Config, idb map[string]bool) (*Rewritten, error) {
+	if err := everr.Check(cfg.Ctx); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Fire(faultinject.SiteMagicRewrite); err != nil {
+		return nil, fmt.Errorf("magic: rewrite failed: %w", err)
+	}
 	if !idb[goal.Key()] {
 		return nil, fmt.Errorf("magic: %s is not an IDB predicate", goal.Key())
 	}

@@ -11,11 +11,15 @@
 package seminaive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"chainsplit/internal/builtin"
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/limits"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
@@ -23,19 +27,25 @@ import (
 
 // ErrBudget is returned when evaluation exceeds the configured
 // iteration or tuple budget — the runtime signature of an infinite (or
-// practically unbounded) evaluation.
-var ErrBudget = errors.New("seminaive: evaluation budget exceeded")
+// practically unbounded) evaluation. It wraps everr.ErrBudget.
+var ErrBudget = fmt.Errorf("seminaive: %w", everr.ErrBudget)
 
 // ErrUnsafe is returned when a rule body cannot be scheduled so that
 // every builtin is finitely evaluable — the static signature of an
-// infinitely evaluable chain element.
-var ErrUnsafe = errors.New("seminaive: rule is not safe for bottom-up evaluation")
+// infinitely evaluable chain element. It wraps everr.ErrUnsafe.
+var ErrUnsafe = fmt.Errorf("seminaive: rule is not safe for bottom-up evaluation: %w", everr.ErrUnsafe)
 
 // Options configures an evaluation.
 type Options struct {
-	// MaxIterations bounds fixpoint rounds per SCC (0 = 1e6).
+	// Ctx, when non-nil, is checked at fixpoint-round boundaries (and
+	// periodically inside long joins): cancellation and deadlines stop
+	// the evaluation with everr.ErrCanceled / everr.ErrDeadline.
+	Ctx context.Context
+	// MaxIterations bounds fixpoint rounds per SCC
+	// (0 = limits.DefaultMaxIterations).
 	MaxIterations int
-	// MaxTuples bounds the total number of derived tuples (0 = 5e6).
+	// MaxTuples bounds the total number of derived tuples
+	// (0 = limits.DefaultMaxTuples).
 	MaxTuples int
 	// TraceDeltas records per-iteration delta cardinalities (used to
 	// regenerate the paper's iteration-profile figures).
@@ -46,14 +56,14 @@ func (o Options) maxIterations() int {
 	if o.MaxIterations > 0 {
 		return o.MaxIterations
 	}
-	return 1_000_000
+	return limits.DefaultMaxIterations
 }
 
 func (o Options) maxTuples() int {
 	if o.MaxTuples > 0 {
 		return o.MaxTuples
 	}
-	return 5_000_000
+	return limits.DefaultMaxTuples
 }
 
 // IterStats records one fixpoint round of one SCC.
@@ -123,6 +133,9 @@ func (e *Engine) Run() error {
 		}
 	}
 	for _, scc := range e.graph.SCCs {
+		if err := everr.Check(e.opts.Ctx); err != nil {
+			return err
+		}
 		if err := e.runSCC(scc); err != nil {
 			return err
 		}
@@ -271,6 +284,12 @@ func (e *Engine) runSCC(scc []string) error {
 
 	// Semi-naive rounds.
 	for iter := 1; ; iter++ {
+		if err := everr.Check(e.opts.Ctx); err != nil {
+			return err
+		}
+		if err := faultinject.Fire(faultinject.SiteSeminaiveIterate); err != nil {
+			return err
+		}
 		if iter > e.opts.maxIterations() {
 			return fmt.Errorf("%w: more than %d iterations in SCC %v", ErrBudget, e.opts.maxIterations(), scc)
 		}
@@ -472,6 +491,13 @@ func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.R
 		}
 		for _, tup := range candidates {
 			e.stats.Matches++
+			// A single fixpoint round can enumerate a huge join; keep
+			// cancellation latency bounded inside the round too.
+			if e.stats.Matches&8191 == 0 {
+				if err := everr.Check(e.opts.Ctx); err != nil {
+					return err
+				}
+			}
 			sol := s.Clone()
 			ok := true
 			for i, a := range resolved {

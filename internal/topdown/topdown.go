@@ -14,33 +14,42 @@
 package topdown
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
 
 	"chainsplit/internal/adorn"
 	"chainsplit/internal/builtin"
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/limits"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
 )
 
 // ErrBudget is returned when evaluation exceeds the step or depth
-// budget.
-var ErrBudget = errors.New("topdown: evaluation budget exceeded")
+// budget. It wraps everr.ErrBudget.
+var ErrBudget = fmt.Errorf("topdown: %w", everr.ErrBudget)
 
 // ErrFlounder is returned when no remaining body literal is finitely
 // evaluable — the runtime signature of an infinitely evaluable goal
-// that even chain-split cannot rescue.
-var ErrFlounder = errors.New("topdown: goal floundered (no finitely evaluable literal)")
+// that even chain-split cannot rescue. It wraps everr.ErrUnsafe.
+var ErrFlounder = fmt.Errorf("topdown: goal floundered (no finitely evaluable literal): %w", everr.ErrUnsafe)
 
 // Options configures the engine.
 type Options struct {
-	// MaxSteps bounds total literal evaluations (0 = 10e6).
+	// Ctx, when non-nil, is checked at pass boundaries and every few
+	// resolution steps: cancellation and deadlines stop the evaluation
+	// with everr.ErrCanceled / everr.ErrDeadline.
+	Ctx context.Context
+	// MaxSteps bounds total literal evaluations
+	// (0 = limits.DefaultMaxSteps).
 	MaxSteps int
-	// MaxDepth bounds call nesting (0 = 1e6).
+	// MaxDepth bounds call nesting (0 = limits.DefaultMaxDepth).
 	MaxDepth int
-	// MaxPasses bounds QSQR fixpoint passes (0 = 10000).
+	// MaxPasses bounds QSQR fixpoint passes
+	// (0 = limits.DefaultMaxPasses).
 	MaxPasses int
 }
 
@@ -48,21 +57,21 @@ func (o Options) maxSteps() int {
 	if o.MaxSteps > 0 {
 		return o.MaxSteps
 	}
-	return 10_000_000
+	return limits.DefaultMaxSteps
 }
 
 func (o Options) maxDepth() int {
 	if o.MaxDepth > 0 {
 		return o.MaxDepth
 	}
-	return 1_000_000
+	return limits.DefaultMaxDepth
 }
 
 func (o Options) maxPasses() int {
 	if o.MaxPasses > 0 {
 		return o.MaxPasses
 	}
-	return 10_000
+	return limits.DefaultMaxPasses
 }
 
 // Stats reports evaluation effort.
@@ -167,6 +176,9 @@ func (e *Engine) SolveConjunction(goals []program.Atom) ([]term.Subst, error) {
 		return nil, fmt.Errorf("topdown: %v", err)
 	}
 	for pass := 0; ; pass++ {
+		if err := everr.Check(e.opts.Ctx); err != nil {
+			return nil, err
+		}
 		if pass >= e.opts.maxPasses() {
 			return nil, fmt.Errorf("%w: %d fixpoint passes", ErrBudget, pass)
 		}
@@ -192,6 +204,9 @@ func (e *Engine) SolveConjunction(goals []program.Atom) ([]term.Subst, error) {
 // (e.g. isort's delayed insert call) inside chain portions.
 func (e *Engine) SolveUnder(g program.Atom, s term.Subst) ([]term.Subst, error) {
 	for pass := 0; ; pass++ {
+		if err := everr.Check(e.opts.Ctx); err != nil {
+			return nil, err
+		}
 		if pass >= e.opts.maxPasses() {
 			return nil, fmt.Errorf("%w: %d fixpoint passes", ErrBudget, pass)
 		}
@@ -282,6 +297,14 @@ func (e *Engine) evaluable(g program.Atom, s term.Subst) bool {
 // solveLiteral evaluates one literal under s.
 func (e *Engine) solveLiteral(g program.Atom, s term.Subst, depth int) ([]term.Subst, error) {
 	e.stats.Steps++
+	if e.stats.Steps&1023 == 0 {
+		if err := everr.Check(e.opts.Ctx); err != nil {
+			return nil, err
+		}
+	}
+	if err := faultinject.Fire(faultinject.SiteTopdownStep); err != nil {
+		return nil, err
+	}
 	if e.stats.Steps > e.opts.maxSteps() {
 		return nil, fmt.Errorf("%w: %d steps", ErrBudget, e.stats.Steps)
 	}

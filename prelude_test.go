@@ -98,7 +98,7 @@ func TestLoadFacts(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	db.MustExec("reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- edge(X,Z), reach(Z,Y).")
+	mustExec(t, db, "reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- edge(X,Z), reach(Z,Y).")
 	res, err := db.Query("?- reach(a, Y).")
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("reach: %v %v", res, err)
@@ -115,7 +115,7 @@ func TestLoadFacts(t *testing.T) {
 
 func TestSaveRestoreRoundTrip(t *testing.T) {
 	db := Open()
-	db.MustExec(`
+	mustExec(t, db, `
 @threshold split 4.
 reach(X, Y) :- edge(X, Y).
 reach(X, Y) :- edge(X, Z), reach(Z, Y).
@@ -146,7 +146,7 @@ edge(a, b). edge(b, c).
 
 func TestConcurrentUse(t *testing.T) {
 	db := preludeDB(t)
-	db.MustExec("edge(a, b). edge(b, c).")
+	mustExec(t, db, "edge(a, b). edge(b, c).")
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

@@ -1,0 +1,300 @@
+package chainsplit
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"chainsplit/internal/faultinject"
+)
+
+// cyclicTravelSrc is the paper's travel recursion over a cyclic flight
+// graph (a ⇄ b): statically accepted (every literal is schedulable)
+// but divergent at runtime — routes grow without bound — so it is the
+// canonical victim for deadline/budget/cancellation tests.
+const cyclicTravelSrc = `
+travel(L, D, DT, A, AT, F) :- flight(Fno, D, DT, A, AT, F), cons(Fno, [], L).
+travel(L, D, DT, A, AT, F) :-
+    flight(Fno, D, DT, A1, AT1, F1),
+    travel(L1, A1, DT1, A, AT, F2),
+    DT1 > AT1,
+    plus(F1, F2, F),
+    cons(Fno, L1, L).
+flight(1, a, 100, b, 50, 50).
+flight(2, b, 100, a, 50, 60).
+flight(3, a, 100, c, 50, 70).
+`
+
+const cyclicTravelQuery = "?- travel(L, a, DT, A, AT, F)."
+
+// forcedStrategies lists every forced evaluation strategy with the
+// fault-injection site inside the engine that runs it.
+var forcedStrategies = []struct {
+	name string
+	s    Strategy
+	site string
+}{
+	{"seminaive", StrategySeminaive, faultinject.SiteSeminaiveIterate},
+	{"magic", StrategyMagic, faultinject.SiteMagicRewrite},
+	{"magic-follow", StrategyMagicFollow, faultinject.SiteMagicRewrite},
+	{"magic-split", StrategyMagicSplit, faultinject.SiteMagicRewrite},
+	{"buffered", StrategyBuffered, faultinject.SiteCountingLevel},
+	{"topdown", StrategyTopDown, faultinject.SiteTopdownStep},
+}
+
+func openCyclicTravel(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, cyclicTravelSrc)
+	return db
+}
+
+// TestTimeoutAllStrategies is the headline acceptance check: a
+// divergent query under WithTimeout(50ms) must come back as
+// ErrDeadline well under a second for every forced strategy.
+func TestTimeoutAllStrategies(t *testing.T) {
+	for _, tc := range forcedStrategies {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openCyclicTravel(t)
+			start := time.Now()
+			_, err := db.Query(cyclicTravelQuery,
+				WithStrategy(tc.s), WithTimeout(50*time.Millisecond))
+			elapsed := time.Since(start)
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("err = %v, want ErrDeadline", err)
+			}
+			if elapsed > time.Second {
+				t.Errorf("deadline enforced after %v, want well under 1s", elapsed)
+			}
+			var ee *EvalError
+			if !errors.As(err, &ee) {
+				t.Fatalf("err %v does not carry an *EvalError", err)
+			}
+			if ee.Strategy == "" {
+				t.Errorf("EvalError.Strategy empty, want the failing strategy")
+			}
+		})
+	}
+}
+
+// TestCancelAllStrategies: a context canceled before the call returns
+// ErrCanceled immediately, for every strategy.
+func TestCancelAllStrategies(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range forcedStrategies {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openCyclicTravel(t)
+			_, err := db.QueryCtx(ctx, cyclicTravelQuery, WithStrategy(tc.s))
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			if errors.Is(err, ErrDeadline) {
+				t.Error("cancellation must not classify as deadline")
+			}
+		})
+	}
+}
+
+// TestCancelMidEvaluation cancels a running divergent query from
+// another goroutine; evaluation must stop soon after.
+func TestCancelMidEvaluation(t *testing.T) {
+	db := openCyclicTravel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := db.QueryCtx(ctx, cyclicTravelQuery, WithStrategy(StrategySeminaive))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel honored after %v, want well under 1s", elapsed)
+	}
+}
+
+// TestBudgetTyped: tight tuple/step/answer budgets classify as
+// ErrBudget under the public taxonomy for every strategy.
+func TestBudgetTyped(t *testing.T) {
+	for _, tc := range forcedStrategies {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openCyclicTravel(t)
+			_, err := db.Query(cyclicTravelQuery,
+				WithStrategy(tc.s), WithBudgets(500, 500, 500))
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("err = %v, want ErrBudget", err)
+			}
+			if errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled) {
+				t.Error("budget exhaustion must not classify as cancellation")
+			}
+		})
+	}
+}
+
+// TestPanicContainedAllStrategies injects a panic inside each engine
+// and checks it surfaces as a structured *EvalError matching ErrPanic
+// — never as a crashed test binary.
+func TestPanicContainedAllStrategies(t *testing.T) {
+	for _, tc := range forcedStrategies {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openCyclicTravel(t)
+			restore := faultinject.Set(tc.site, func() error {
+				panic("injected engine panic")
+			})
+			defer restore()
+			_, err := db.Query(cyclicTravelQuery,
+				WithStrategy(tc.s), WithTimeout(5*time.Second))
+			if !errors.Is(err, ErrPanic) {
+				t.Fatalf("err = %v, want ErrPanic", err)
+			}
+			var ee *EvalError
+			if !errors.As(err, &ee) {
+				t.Fatalf("err %v does not carry an *EvalError", err)
+			}
+			if ee.PanicVal != "injected engine panic" {
+				t.Errorf("PanicVal = %v, want the injected value", ee.PanicVal)
+			}
+			if ee.Stack == "" {
+				t.Error("contained panic lost its stack trace")
+			}
+		})
+	}
+}
+
+// finiteTCSrc is a terminating transitive closure used by the
+// fallback tests: the answers are known, so a fallback re-run can be
+// checked for correctness, not just for not-erroring.
+const finiteTCSrc = `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(n0, n1). e(n1, n2). e(n2, n3).
+`
+
+// TestAutoFallbackOnChainCompileError: an injected chain-compilation
+// failure under StrategyAuto must degrade to plain semi-naive, return
+// the correct answers, and record the fallback in Metrics.
+func TestAutoFallbackOnChainCompileError(t *testing.T) {
+	db := Open()
+	mustExec(t, db, finiteTCSrc)
+	restore := faultinject.Set(faultinject.SiteChainCompile, func() error {
+		return errors.New("injected chain-compile failure")
+	})
+	defer restore()
+	res, err := db.Query("?- tc(n0, Y).")
+	if err != nil {
+		t.Fatalf("StrategyAuto did not fall back: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("fallback answers = %d, want 3 (n1, n2, n3)", len(res.Rows))
+	}
+	if res.Metrics.FallbackFrom == "" {
+		t.Error("Metrics.FallbackFrom not set after fallback")
+	}
+	if !strings.Contains(res.Metrics.FallbackReason, "injected chain-compile failure") {
+		t.Errorf("Metrics.FallbackReason = %q, want the injected cause", res.Metrics.FallbackReason)
+	}
+}
+
+// TestAutoFallbackOnEnginePanic: a panic inside the chosen engine
+// under StrategyAuto is contained AND recovered from by re-running
+// semi-naive (the panic site is not on the semi-naive path).
+func TestAutoFallbackOnEnginePanic(t *testing.T) {
+	db := Open()
+	mustExec(t, db, finiteTCSrc)
+	restore := faultinject.Set(faultinject.SiteMagicRewrite, func() error {
+		panic("injected rewrite panic")
+	})
+	defer restore()
+	res, err := db.Query("?- tc(n0, Y).")
+	if err != nil {
+		t.Fatalf("StrategyAuto did not fall back from the panic: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("fallback answers = %d, want 3", len(res.Rows))
+	}
+	if res.Metrics.FallbackFrom == "" {
+		t.Error("Metrics.FallbackFrom not set after panic fallback")
+	}
+}
+
+// TestForcedStrategyDoesNotFallBack: degradation is an Auto-only
+// behavior — a forced strategy must surface its own failure.
+func TestForcedStrategyDoesNotFallBack(t *testing.T) {
+	db := Open()
+	mustExec(t, db, finiteTCSrc)
+	restore := faultinject.Set(faultinject.SiteMagicRewrite, func() error {
+		return errors.New("injected rewrite failure")
+	})
+	defer restore()
+	_, err := db.Query("?- tc(n0, Y).", WithStrategy(StrategyMagic))
+	if err == nil {
+		t.Fatal("forced StrategyMagic silently fell back; want the injected error")
+	}
+	if !strings.Contains(err.Error(), "injected rewrite failure") {
+		t.Errorf("err = %v, want the injected cause", err)
+	}
+}
+
+// TestNoFallbackOnBudgetOrDeadline: resource exhaustion is the
+// caller's signal, not a strategy defect — Auto must not burn a second
+// budget re-running semi-naive.
+func TestNoFallbackOnBudgetOrDeadline(t *testing.T) {
+	db := openCyclicTravel(t)
+	_, err := db.Query(cyclicTravelQuery, WithTimeout(50*time.Millisecond))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline (no fallback)", err)
+	}
+	_, err = db.Query(cyclicTravelQuery, WithBudgets(500, 500, 500))
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget (no fallback)", err)
+	}
+}
+
+// TestTimeoutComposesWithContext: the earlier of the context deadline
+// and WithTimeout wins.
+func TestTimeoutComposesWithContext(t *testing.T) {
+	db := openCyclicTravel(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := db.QueryCtx(ctx, cyclicTravelQuery, WithTimeout(time.Hour))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline from the context", err)
+	}
+}
+
+// TestTimeoutLeavesFastQueriesAlone: a generous deadline must not
+// perturb a terminating query.
+func TestTimeoutLeavesFastQueriesAlone(t *testing.T) {
+	db := Open()
+	mustExec(t, db, finiteTCSrc)
+	res, err := db.Query("?- tc(n0, Y).", WithTimeout(10*time.Second))
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("res = %v err = %v, want 3 answers", res, err)
+	}
+	if res.Metrics.FallbackFrom != "" {
+		t.Errorf("spurious fallback recorded: %q", res.Metrics.FallbackFrom)
+	}
+}
+
+// TestTaxonomyDisjoint: each failure matches exactly its own sentinel.
+func TestTaxonomyDisjoint(t *testing.T) {
+	sentinels := map[string]error{
+		"canceled": ErrCanceled, "deadline": ErrDeadline, "budget": ErrBudget,
+		"unsafe": ErrUnsafe, "plan": ErrPlan, "panic": ErrPanic,
+	}
+	db := Open()
+	mustExec(t, db, "append([], L, L).\nappend([X|L1], L2, [X|L3]) :- append(L1, L2, L3).")
+	_, err := db.Query("?- append(U, [3], W).")
+	for name, s := range sentinels {
+		if got, want := errors.Is(err, s), name == "unsafe"; got != want {
+			t.Errorf("errors.Is(staticallyInfinite, %s) = %v, want %v", name, got, want)
+		}
+	}
+	if !errors.Is(err, ErrNotFinitelyEvaluable) {
+		t.Error("static rejection lost its legacy ErrNotFinitelyEvaluable identity")
+	}
+}
