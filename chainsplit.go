@@ -40,22 +40,30 @@
 //	if errors.Is(err, chainsplit.ErrDeadline) {
 //	    // the cyclic flight graph diverged; the query was stopped
 //	}
+//
+// A DB serves concurrent callers: queries evaluate in parallel against
+// immutable snapshots while Exec/LoadFacts publish new generations
+// atomically, admission control sheds excess load with ErrOverloaded
+// (see OpenWith), and WithRetry re-runs transiently failed queries
+// with capped exponential backoff.
 package chainsplit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime/debug"
-	"sync"
 	"time"
 
+	"chainsplit/internal/admission"
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/core"
 	"chainsplit/internal/cost"
 	"chainsplit/internal/everr"
 	"chainsplit/internal/lang"
 	"chainsplit/internal/program"
+	"chainsplit/internal/retry"
 	"chainsplit/internal/term"
 )
 
@@ -91,19 +99,26 @@ const (
 // depends on the strategy that ran.
 type Metrics = core.Metrics
 
+// queryConfig gathers everything one Query/Explain call can customize:
+// the engine options plus the serving-layer retry policy.
+type queryConfig struct {
+	opts  core.Options
+	retry retry.Policy
+}
+
 // Option customizes one Query or Explain call.
-type Option func(*core.Options)
+type Option func(*queryConfig)
 
 // WithStrategy overrides the planner's strategy choice.
 func WithStrategy(s Strategy) Option {
-	return func(o *core.Options) { o.Strategy = s }
+	return func(q *queryConfig) { q.opts.Strategy = s }
 }
 
 // WithThresholds sets the chain-split and chain-following thresholds
 // of Algorithm 3.1.
 func WithThresholds(splitAbove, followBelow float64) Option {
-	return func(o *core.Options) {
-		o.Thresholds = cost.Thresholds{SplitAbove: splitAbove, FollowBelow: followBelow}
+	return func(q *queryConfig) {
+		q.opts.Thresholds = cost.Thresholds{SplitAbove: splitAbove, FollowBelow: followBelow}
 	}
 }
 
@@ -112,10 +127,10 @@ func WithThresholds(splitAbove, followBelow float64) Option {
 // maxAnswers bounds buffered-evaluation answers. Zero keeps a
 // default.
 func WithBudgets(maxTuples, maxSteps, maxAnswers int) Option {
-	return func(o *core.Options) {
-		o.MaxTuples = maxTuples
-		o.MaxSteps = maxSteps
-		o.MaxAnswers = maxAnswers
+	return func(q *queryConfig) {
+		q.opts.MaxTuples = maxTuples
+		q.opts.MaxSteps = maxSteps
+		q.opts.MaxAnswers = maxAnswers
 	}
 }
 
@@ -124,19 +139,34 @@ func WithBudgets(maxTuples, maxSteps, maxAnswers int) Option {
 // with QueryCtx — whichever of the context and the timeout expires
 // first wins.
 func WithTimeout(d time.Duration) Option {
-	return func(o *core.Options) { o.Timeout = d }
+	return func(q *queryConfig) { q.opts.Timeout = d }
 }
 
 // WithTrace records per-iteration (bottom-up) or per-level (buffered)
 // profiles in the result metrics.
 func WithTrace() Option {
-	return func(o *core.Options) { o.TraceDeltas = true }
+	return func(q *queryConfig) { q.opts.TraceDeltas = true }
 }
 
 // WithLimit truncates the answer set to the first n answers; n = 1
 // turns the query into an existence check.
 func WithLimit(n int) Option {
-	return func(o *core.Options) { o.Limit = n }
+	return func(q *queryConfig) { q.opts.Limit = n }
+}
+
+// RetryPolicy configures WithRetry: how many attempts a query gets and
+// the capped exponential backoff (with jitter) between them. The zero
+// value disables retries.
+type RetryPolicy = retry.Policy
+
+// WithRetry retries the query on transient failures — ErrOverloaded
+// (shed by admission control) and ErrPanic (contained internal fault)
+// — with the policy's backoff schedule. Deterministic failures
+// (ErrCanceled, ErrDeadline, ErrBudget, ErrUnsafe, ErrPlan) are never
+// retried. The retry count is reported in the result's
+// Metrics.Retries.
+func WithRetry(p RetryPolicy) Option {
+	return func(q *queryConfig) { q.retry = p }
 }
 
 // Row is one query answer projected onto the query's variables.
@@ -162,17 +192,61 @@ type Result struct {
 }
 
 // DB is a deductive database: an intensional program plus extensional
-// facts. All methods are safe for concurrent use (operations are
-// serialized internally — evaluation engines share mutable analysis
-// and index state, so true read parallelism would require per-query
-// snapshots).
+// facts. All methods are safe for concurrent use, and reads run in
+// parallel: writers (Exec, LoadFacts) build and atomically publish a
+// new immutable generation of the program and catalog, while each
+// query pins the generation current when it starts and evaluates
+// against that snapshot lock-free. Queries therefore never block
+// behind a writer or each other, and never observe a half-applied
+// load (snapshot isolation at the granularity of one Exec/LoadFacts
+// call). Admission control bounds how many evaluations run at once;
+// excess queries wait in a bounded FIFO queue and are shed with
+// ErrOverloaded once it fills.
 type DB struct {
-	mu    sync.Mutex
 	inner *core.DB
+	adm   *admission.Controller
 }
 
-// Open returns an empty database.
-func Open() *DB { return &DB{inner: core.NewDB()} }
+// Config sizes the serving layer of a database opened with OpenWith.
+// The zero value means defaults.
+type Config struct {
+	// MaxConcurrent bounds how many query evaluations run at once
+	// (0 = limits.DefaultMaxConcurrent, currently 128).
+	MaxConcurrent int
+	// MaxQueue bounds how many queries may wait for an evaluation
+	// slot before further queries are shed with ErrOverloaded
+	// (0 = limits.DefaultMaxQueue, currently 1024; negative = no
+	// queue).
+	MaxQueue int
+}
+
+// Open returns an empty database with default serving limits.
+func Open() *DB { return OpenWith(Config{}) }
+
+// OpenWith returns an empty database with explicit serving limits.
+func OpenWith(cfg Config) *DB {
+	return &DB{
+		inner: core.NewDB(),
+		adm: admission.New(admission.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+		}),
+	}
+}
+
+// ServerStats is a snapshot of the serving layer's admission counters;
+// see Stats.
+type ServerStats = admission.Stats
+
+// Stats reports the admission-control counters: queries admitted,
+// shed, and canceled while queued, current occupancy, and queue-wait
+// times.
+func (db *DB) Stats() ServerStats { return db.adm.Stats() }
+
+// Generation returns the database's current generation number; it
+// increases by one with every Exec/LoadFacts. A query result's
+// Metrics.Generation records which generation it evaluated against.
+func (db *DB) Generation() uint64 { return db.inner.Generation() }
 
 // apiRecover converts a panic escaping the public API into an
 // *EvalError matching ErrPanic, so callers see a structured failure
@@ -200,17 +274,15 @@ func (db *DB) Exec(src string) (err error) {
 	if len(res.Queries) > 0 {
 		return fmt.Errorf("chainsplit: Exec source contains a query (%s); use Query", res.Queries[0])
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.inner.Load(res.Program)
 	return nil
 }
 
 // LoadFacts bulk-loads ground tuples into an extensional relation
 // without going through the parser — the fast path for large EDBs.
+// The batch is published atomically: a concurrent query sees either
+// none or all of the tuples, never a torn prefix.
 func (db *DB) LoadFacts(pred string, tuples [][]Term) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	conv := make([][]term.Term, len(tuples))
 	for i, t := range tuples {
 		conv[i] = t
@@ -244,15 +316,49 @@ func (db *DB) Query(q string, options ...Option) (*Result, error) {
 // matching ErrCanceled (or ErrDeadline, for a context deadline) soon
 // after ctx is done, for every evaluation strategy. A nil ctx is
 // treated as context.Background().
+//
+// Each attempt first passes admission control (waiting in the bounded
+// FIFO queue if the server is saturated; time spent there is reported
+// in Metrics.AdmissionWait), then evaluates against a snapshot of the
+// database pinned at that moment. With WithRetry, transient failures
+// are retried with backoff; a retried query may observe a newer
+// generation than the first attempt did.
 func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *Result, err error) {
 	defer apiRecover(&err)
-	goals, opts, err := db.prepare(q, options)
+	goals, qc, err := db.prepare(q, options)
 	if err != nil {
 		return nil, err
 	}
-	opts.Ctx = ctx
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	qc.opts.Ctx = ctx
+	var out *Result
+	retries, err := qc.retry.Do(ctx, func() error {
+		r, qerr := db.queryOnce(ctx, goals, qc.opts)
+		if qerr == nil {
+			out = r
+		}
+		return qerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Metrics.Retries = retries
+	return out, nil
+}
+
+// queryOnce runs one admission-controlled evaluation attempt against
+// the generation current at admission time.
+func (db *DB) queryOnce(ctx context.Context, goals []program.Atom, opts core.Options) (*Result, error) {
+	wait, release, err := db.adm.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, everr.ErrOverloaded) {
+			// Shed queries report through the same structured type as
+			// evaluation failures, with the admission layer as the
+			// "strategy" that failed.
+			return nil, &core.EvalError{Strategy: "admission", Err: err}
+		}
+		return nil, err
+	}
+	defer release()
 	inner, err := db.inner.Query(goals, opts)
 	if err != nil {
 		return nil, err
@@ -263,6 +369,7 @@ func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *R
 		Metrics:  inner.Metrics,
 		Duration: inner.Metrics.Duration,
 	}
+	out.Metrics.AdmissionWait = wait
 	if inner.Plan != nil {
 		out.Plan = inner.Plan.String()
 		out.Strategy = inner.Plan.Strategy
@@ -276,35 +383,31 @@ func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *R
 // Explain plans a query without executing it and renders the plan.
 func (db *DB) Explain(q string, options ...Option) (plan string, err error) {
 	defer apiRecover(&err)
-	goals, opts, err := db.prepare(q, options)
+	goals, qc, err := db.prepare(q, options)
 	if err != nil {
 		return "", err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	p, err := db.inner.Explain(goals, opts)
+	p, err := db.inner.Explain(goals, qc.opts)
 	if err != nil {
 		return "", err
 	}
 	return p.String(), nil
 }
 
-func (db *DB) prepare(q string, options []Option) ([]program.Atom, core.Options, error) {
+func (db *DB) prepare(q string, options []Option) ([]program.Atom, queryConfig, error) {
 	parsed, err := lang.ParseQuery(q)
 	if err != nil {
-		return nil, core.Options{}, err
+		return nil, queryConfig{}, err
 	}
-	var opts core.Options
+	var qc queryConfig
 	for _, o := range options {
-		o(&opts)
+		o(&qc)
 	}
-	return parsed.Goals, opts, nil
+	return parsed.Goals, qc, nil
 }
 
 // Dump renders the loaded program (as written, before rectification).
 func (db *DB) Dump() string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.inner.Source().String()
 }
 
@@ -318,8 +421,6 @@ func (db *DB) SaveFile(path string) error {
 // "pred/arity" — the recursion class, chain generating paths and exit
 // rules the planner works with.
 func (db *DB) CompileInfo(predArity string) (string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.inner.CompileInfo(predArity)
 }
 

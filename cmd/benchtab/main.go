@@ -8,9 +8,12 @@
 //	benchtab -exp T2      # run one experiment
 //	benchtab -list        # list experiments
 //	benchtab -quick       # smaller workloads (sanity pass)
+//	benchtab -timeout 2m  # bound the whole run (typed error on expiry)
+//	benchtab -parallel 8  # client concurrency for C1 (default GOMAXPROCS)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +25,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	quick := flag.Bool("quick", false, "run with reduced workload sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	parallel := flag.Int("parallel", 0, "client concurrency for the concurrent-serving experiment (0 = GOMAXPROCS, min 4)")
 	flag.Parse()
 
 	if *list {
@@ -31,7 +36,13 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Out: os.Stdout, Quick: *quick}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Ctx: ctx, Parallel: *parallel}
 	if *exp != "" {
 		e, ok := experiments.Lookup(*exp)
 		if !ok {

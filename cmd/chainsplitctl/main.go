@@ -10,9 +10,10 @@
 //	chainsplitctl -strategy magic-follow …     # force a strategy
 //	chainsplitctl -timeout 500ms -q '…' …      # bound query wall-clock time
 //	chainsplitctl -max-tuples 100000 -q '…' …  # bound derived tuples
+//	chainsplitctl -concurrency 4 -i prog.dl    # cap in-flight queries
 //
-// When -timeout or the tuple budget stops a query, the command prints
-// a one-line diagnostic and exits with status 2.
+// When -timeout, the tuple budget, or admission control stops a query,
+// the command prints a one-line diagnostic and exits with status 2.
 package main
 
 import (
@@ -49,7 +50,8 @@ func main() {
 	compile := flag.String("compile", "", "print the compiled chain form of pred/arity and exit")
 	facts := flag.String("facts", "", "bulk-load tab-separated facts: pred=path.tsv (may repeat comma-separated)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 10s); 0 means none")
-	maxTuples := flag.Int("max-tuples", 0, "bound on derived tuples per query; 0 keeps the default")
+	maxTuples := flag.Int("max-tuples", 0, "bound on evaluation effort per query (derived tuples, resolution steps, buffered answers); 0 keeps the defaults")
+	concurrency := flag.Int("concurrency", 0, "max in-flight queries before load shedding; 0 keeps the default")
 	flag.Parse()
 
 	strat, ok := strategies[*strategyName]
@@ -62,8 +64,11 @@ func main() {
 	if *maxTuples < 0 {
 		fail("negative -max-tuples %d (use 0 for the default)", *maxTuples)
 	}
+	if *concurrency < 0 {
+		fail("negative -concurrency %d (use 0 for the default)", *concurrency)
+	}
 
-	db := chainsplit.Open()
+	db := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: *concurrency})
 	var embedded []string
 	for _, path := range flag.Args() {
 		var data []byte
@@ -114,7 +119,11 @@ func main() {
 			opts = append(opts, chainsplit.WithTimeout(*timeout))
 		}
 		if *maxTuples > 0 {
-			opts = append(opts, chainsplit.WithBudgets(*maxTuples, 0, 0))
+			// One flag bounds every engine's effort unit: derived tuples
+			// (bottom-up), resolution steps (top-down), answers (buffered)
+			// — otherwise a divergent query under the auto-chosen buffered
+			// strategy would sail past a tuples-only bound.
+			opts = append(opts, chainsplit.WithBudgets(*maxTuples, *maxTuples, *maxTuples))
 		}
 		if *explain {
 			plan, err := db.Explain(q, opts...)
@@ -134,9 +143,11 @@ func main() {
 		return nil
 	}
 	// One-shot modes exit non-zero when a limit stopped the query, so
-	// scripts can tell "no answers" from "gave up".
+	// scripts can tell "no answers" from "gave up". Load shedding is a
+	// limit too: the query was never evaluated, only refused.
 	exitOnLimit := func(err error) {
-		if errors.Is(err, chainsplit.ErrDeadline) || errors.Is(err, chainsplit.ErrBudget) {
+		if errors.Is(err, chainsplit.ErrDeadline) || errors.Is(err, chainsplit.ErrBudget) ||
+			errors.Is(err, chainsplit.ErrOverloaded) {
 			os.Exit(2)
 		}
 	}
@@ -181,6 +192,8 @@ func limitMessage(err error, timeout time.Duration) string {
 		return "query exceeded its deadline (raise -timeout or add constraints)"
 	case errors.Is(err, chainsplit.ErrBudget):
 		return "query exceeded its evaluation budget (raise -max-tuples or add constraints)"
+	case errors.Is(err, chainsplit.ErrOverloaded):
+		return "query shed by admission control (raise -concurrency or retry later)"
 	default:
 		return err.Error()
 	}

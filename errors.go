@@ -9,21 +9,25 @@ import (
 // QueryCtx / Exec / Explain matches (errors.Is) exactly one of these
 // sentinels, whichever engine produced it:
 //
-//	ErrCanceled  the context passed to QueryCtx was canceled
-//	ErrDeadline  the WithTimeout (or context) deadline passed
-//	ErrBudget    an iteration/tuple/step/answer budget was exceeded
-//	ErrUnsafe    the query is not safely (finitely) evaluable
-//	ErrPlan      planning or chain compilation failed
+//	ErrCanceled    the context passed to QueryCtx was canceled
+//	ErrDeadline    the WithTimeout (or context) deadline passed
+//	ErrBudget      an iteration/tuple/step/answer budget was exceeded
+//	ErrUnsafe      the query is not safely (finitely) evaluable
+//	ErrPlan        planning or chain compilation failed
+//	ErrOverloaded  admission control shed the query (server saturated
+//	               and the wait queue full); retrying after backoff is
+//	               reasonable — see WithRetry
 //
 // ErrPanic additionally marks internal invariant violations that were
 // contained at the API boundary instead of crashing the process.
 var (
-	ErrCanceled = everr.ErrCanceled
-	ErrDeadline = everr.ErrDeadline
-	ErrBudget   = everr.ErrBudget
-	ErrUnsafe   = everr.ErrUnsafe
-	ErrPlan     = everr.ErrPlan
-	ErrPanic    = everr.ErrPanic
+	ErrCanceled   = everr.ErrCanceled
+	ErrDeadline   = everr.ErrDeadline
+	ErrBudget     = everr.ErrBudget
+	ErrUnsafe     = everr.ErrUnsafe
+	ErrPlan       = everr.ErrPlan
+	ErrPanic      = everr.ErrPanic
+	ErrOverloaded = everr.ErrOverloaded
 )
 
 // EvalError is the structured failure attached to every evaluation

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/program"
@@ -107,6 +108,12 @@ type Analysis struct {
 	prog  *program.Program
 	graph *program.DepGraph
 	idb   map[string]bool
+	// mu guards finite — the analysis' only mutable state — so one
+	// Analysis may serve concurrent queries over the same database
+	// generation. All mutation funnels through Finite (the fixpoint,
+	// including its assumeFinite seeding, runs entirely under mu); the
+	// Schedule* entry points only reach finite through Finite itself.
+	mu sync.Mutex
 	// finite maps Key(pred,arity,ad) → finiteness under the current
 	// hypothesis; universe records pairs under analysis.
 	finite map[string]bool
@@ -132,6 +139,8 @@ func (an *Analysis) Graph() *program.DepGraph { return an.graph }
 // positions ground has finitely many answers computable by some
 // evaluable scheduling of each rule.
 func (an *Analysis) Finite(pred string, arity int, ad string) bool {
+	an.mu.Lock()
+	defer an.mu.Unlock()
 	k := Key(pred, arity, ad)
 	if v, ok := an.finite[k]; ok {
 		return v

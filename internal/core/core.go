@@ -28,6 +28,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"chainsplit/internal/adorn"
@@ -154,6 +156,15 @@ type Metrics struct {
 	Calls     int
 	TableHits int
 
+	// Serving layer (populated by the public API when admission
+	// control / retries are active). AdmissionWait is the total time
+	// the query spent waiting for an evaluation slot; Retries counts
+	// re-attempts after transient failures; Generation is the database
+	// generation the (final) evaluation pinned.
+	AdmissionWait time.Duration
+	Retries       int
+	Generation    uint64
+
 	// Resilience: when StrategyAuto re-ran the query via plain
 	// semi-naive after the planned strategy failed, FallbackFrom names
 	// the strategy (or "plan" for a planning/compilation failure) and
@@ -219,63 +230,148 @@ type Result struct {
 }
 
 // DB is a deductive database instance: a rectified program plus an EDB
-// catalog.
+// catalog, organized as a sequence of immutable generations.
+//
+// Writers (Load, LoadTuples) are serialized by writeMu: each build a
+// new generation copy-on-write from the current one — program slices
+// are copied with capped capacity so appends never alias, and the
+// catalog is Snapshot-shared with only the touched relations cloned —
+// and publish it with one atomic pointer swap. Readers (Query,
+// Explain, …) pin the current generation with one atomic load and then
+// run entirely against that immutable state, so any number of queries
+// evaluate in parallel, concurrently with writers, without locks and
+// without ever observing a half-applied update.
 type DB struct {
+	writeMu sync.Mutex
+	gen     atomic.Pointer[generation]
+}
+
+// generation is one immutable database state: the programs, the EDB
+// catalog (frozen on publish), and a lazily built finiteness analysis.
+// Everything reachable from a generation is safe for concurrent reads;
+// the analysis carries its own internal lock for memoization.
+type generation struct {
+	seq    uint64
 	source *program.Program // as written
 	prog   *program.Program // rectified
 	cat    *relation.Catalog
-	// analysis caches the adornment/finiteness analysis (and its
-	// dependency graph); it is invalidated whenever rules change.
+
+	// anMu guards the lazily built analysis. Fact-only generations
+	// inherit the previous generation's analysis: finiteness is a
+	// property of the rules and the (always finite) EDB.
+	anMu     sync.Mutex
 	analysis *adorn.Analysis
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{source: &program.Program{}, prog: &program.Program{}, cat: relation.NewCatalog()}
+	db := &DB{}
+	db.gen.Store(&generation{
+		source: &program.Program{},
+		prog:   &program.Program{},
+		cat:    relation.NewCatalog(),
+	})
+	return db
 }
 
-// Load adds rules, facts and pragmas from a parsed program. It may be
-// called repeatedly; analyses are recomputed on the next query.
+// current pins the current generation (one atomic load).
+func (db *DB) current() *generation { return db.gen.Load() }
+
+// Generation returns the current generation's sequence number; it
+// increases by one per completed Load/LoadTuples.
+func (db *DB) Generation() uint64 { return db.current().seq }
+
+// evolve starts the next generation from g: program slices are copied
+// with capped capacity (appends allocate fresh arrays, so g's slices
+// are never aliased by the new generation's writes) and the catalog is
+// snapshot-shared copy-on-write.
+func (g *generation) evolve() *generation {
+	return &generation{
+		seq:    g.seq + 1,
+		source: cappedProgram(g.source),
+		prog:   cappedProgram(g.prog),
+		cat:    g.cat.Snapshot(),
+	}
+}
+
+// cappedProgram copies a program with full-capacity slices, so that
+// appending to the copy can never write into the original's backing
+// arrays.
+func cappedProgram(p *program.Program) *program.Program {
+	return &program.Program{
+		Rules:   p.Rules[:len(p.Rules):len(p.Rules)],
+		Facts:   p.Facts[:len(p.Facts):len(p.Facts)],
+		Pragmas: p.Pragmas[:len(p.Pragmas):len(p.Pragmas)],
+	}
+}
+
+// publish freezes the new generation's catalog and makes it current.
+func (db *DB) publish(next *generation) {
+	next.cat.Freeze()
+	db.gen.Store(next)
+}
+
+// Load adds rules, facts and pragmas from a parsed program by
+// publishing a new generation. It may be called repeatedly and
+// concurrently with queries; in-flight queries keep evaluating against
+// the generation they pinned. Analyses are recomputed on the next
+// query after a rule change.
 func (db *DB) Load(p *program.Program) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current()
+	next := cur.evolve()
 	for _, r := range p.Rules {
-		db.source.Rules = append(db.source.Rules, r)
-		db.prog.Rules = append(db.prog.Rules, program.RectifyRule(r))
+		next.source.Rules = append(next.source.Rules, r)
+		next.prog.Rules = append(next.prog.Rules, program.RectifyRule(r))
 	}
 	for _, f := range p.Facts {
-		db.source.Facts = append(db.source.Facts, f)
-		db.prog.Facts = append(db.prog.Facts, f)
-		db.cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args))
+		next.source.Facts = append(next.source.Facts, f)
+		next.prog.Facts = append(next.prog.Facts, f)
+		next.cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args))
 	}
-	db.source.Pragmas = append(db.source.Pragmas, p.Pragmas...)
-	db.prog.Pragmas = append(db.prog.Pragmas, p.Pragmas...)
-	if len(p.Rules) > 0 {
-		db.analysis = nil // rules changed: analyses must be rebuilt
+	next.source.Pragmas = append(next.source.Pragmas, p.Pragmas...)
+	next.prog.Pragmas = append(next.prog.Pragmas, p.Pragmas...)
+	if len(p.Rules) == 0 {
+		next.analysis = cur.peekAnalysis()
 	}
+	db.publish(next)
 }
 
-// analysisFor returns the cached adornment analysis, rebuilding it
-// after rule changes. Fact-only loads keep the cache: finiteness is a
-// property of the rules and the (always finite) EDB.
-func (db *DB) analysisFor() *adorn.Analysis {
-	if db.analysis == nil {
-		db.analysis = adorn.NewAnalysis(db.prog)
+// analysisFor returns the generation's adornment analysis, building it
+// on first use. The analysis is shared by every query over this
+// generation (and by fact-only descendants); its memo table is
+// internally synchronized.
+func (g *generation) analysisFor() *adorn.Analysis {
+	g.anMu.Lock()
+	defer g.anMu.Unlock()
+	if g.analysis == nil {
+		g.analysis = adorn.NewAnalysis(g.prog)
 	}
-	return db.analysis
+	return g.analysis
 }
 
-// Program returns the rectified program (read-only).
-func (db *DB) Program() *program.Program { return db.prog }
+// peekAnalysis returns the analysis if already built, else nil.
+func (g *generation) peekAnalysis() *adorn.Analysis {
+	g.anMu.Lock()
+	defer g.anMu.Unlock()
+	return g.analysis
+}
 
-// Source returns the program as written, before rectification
+// Program returns the current rectified program (read-only).
+func (db *DB) Program() *program.Program { return db.current().prog }
+
+// Source returns the current program as written, before rectification
 // (read-only).
-func (db *DB) Source() *program.Program { return db.source }
+func (db *DB) Source() *program.Program { return db.current().source }
 
 // CompileInfo renders the chain form of a predicate ("pred/arity"):
 // its recursion class, chain generating paths and exit rules — the
 // paper's compiled form, e.g. sg's two parent chains.
 func (db *DB) CompileInfo(key string) (string, error) {
-	g := program.NewDepGraph(db.prog)
-	comp, err := chain.Compile(db.prog, g, key)
+	g := db.current()
+	graph := program.NewDepGraph(g.prog)
+	comp, err := chain.Compile(g.prog, graph, key)
 	if err != nil {
 		return "", err
 	}
@@ -286,8 +382,10 @@ func (db *DB) CompileInfo(key string) (string, error) {
 	return out, nil
 }
 
-// Catalog returns the EDB catalog (read-only by convention).
-func (db *DB) Catalog() *relation.Catalog { return db.cat }
+// Catalog returns the current generation's EDB catalog. Published
+// catalogs are frozen: read freely, but obtain writable relations only
+// through a Snapshot.
+func (db *DB) Catalog() *relation.Catalog { return db.current().cat }
 
 // goalAndConstraints splits a conjunctive query into its (single)
 // relational goal and builtin side constraints.
@@ -311,14 +409,22 @@ func goalAndConstraints(goals []program.Atom) (program.Atom, []program.Atom, err
 	}
 }
 
-// Query plans and executes a conjunctive query. Failures cross this
-// boundary as a structured *EvalError wrapping one of the everr
-// taxonomy sentinels; internal panics are contained (one bad query
-// must not take the process down), and a failed StrategyAuto plan
-// falls back to plain semi-naive evaluation where that is sound.
+// Query plans and executes a conjunctive query against the current
+// generation, pinned once at entry: concurrent Load/LoadTuples calls
+// never affect an in-flight evaluation. Failures cross this boundary
+// as a structured *EvalError wrapping one of the everr taxonomy
+// sentinels; internal panics are contained (one bad query must not
+// take the process down), and a failed StrategyAuto plan falls back to
+// plain semi-naive evaluation where that is sound.
 func (db *DB) Query(goals []program.Atom, opts Options) (*Result, error) {
+	return db.current().Query(goals, opts)
+}
+
+// Query evaluates the query against this (immutable) generation; see
+// DB.Query. Any number of goroutines may query one generation at once.
+func (g *generation) Query(goals []program.Atom, opts Options) (*Result, error) {
 	start := time.Now()
-	opts = db.applyPragmas(opts)
+	opts = g.applyPragmas(opts)
 	if opts.Timeout > 0 {
 		base := opts.Ctx
 		if base == nil {
@@ -328,12 +434,13 @@ func (db *DB) Query(goals []program.Atom, opts Options) (*Result, error) {
 		defer cancel()
 		opts.Ctx = ctx
 	}
-	res, err := db.queryWithFallback(goals, opts)
+	res, err := g.queryWithFallback(goals, opts)
 	if res != nil {
 		if opts.Limit > 0 && len(res.Answers) > opts.Limit {
 			res.Answers = res.Answers[:opts.Limit]
 		}
 		res.Metrics.Duration = time.Since(start)
+		res.Metrics.Generation = g.seq
 		res.finish(goals)
 	}
 	if err != nil {
@@ -373,8 +480,8 @@ func wrapEvalError(err error, goals []program.Atom, res *Result) error {
 // including a contained panic — the query is re-run with plain
 // semi-naive evaluation, the always-applicable bottom-up baseline for
 // function-free programs, and the metrics record the degradation.
-func (db *DB) queryWithFallback(goals []program.Atom, opts Options) (*Result, error) {
-	res, err := db.queryContained(goals, opts)
+func (g *generation) queryWithFallback(goals []program.Atom, opts Options) (*Result, error) {
+	res, err := g.queryContained(goals, opts)
 	if err == nil || opts.Strategy != StrategyAuto || opts.fallbackRerun {
 		return res, err
 	}
@@ -385,7 +492,7 @@ func (db *DB) queryWithFallback(goals []program.Atom, opts Options) (*Result, er
 	fopts := opts
 	fopts.Strategy = StrategySeminaive
 	fopts.fallbackRerun = true
-	res2, err2 := db.queryContained(goals, fopts)
+	res2, err2 := g.queryContained(goals, fopts)
 	if err2 != nil {
 		// The baseline failed too: surface the original failure.
 		return res, err
@@ -429,7 +536,7 @@ func fallbackFrom(res *Result, err error) (string, bool) {
 // invariant violation in any engine is recovered here and converted
 // into an *EvalError carrying the panic value and stack, so an engine
 // bug degrades one query instead of crashing the process.
-func (db *DB) queryContained(goals []program.Atom, opts Options) (res *Result, err error) {
+func (g *generation) queryContained(goals []program.Atom, opts Options) (res *Result, err error) {
 	var pl *Plan
 	defer func() {
 		r := recover()
@@ -448,21 +555,25 @@ func (db *DB) queryContained(goals []program.Atom, opts Options) (res *Result, e
 			Err:      everr.ErrPanic,
 		}
 	}()
-	return db.query(goals, opts, &pl)
+	return g.query(goals, opts, &pl)
 }
 
 // LoadTuples bulk-loads ground tuples into an extensional relation,
-// bypassing the parser. Every tuple must be ground and of the same
-// arity.
+// bypassing the parser, as one atomic generation: concurrent queries
+// see either none or all of the batch, never a torn prefix. Every
+// tuple must be ground and of the same arity; validation failures
+// leave the database unchanged.
 func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current()
 	arity := len(tuples[0])
-	if existing := db.cat.Get(pred); existing != nil && existing.Arity() != arity {
+	if existing := cur.cat.Get(pred); existing != nil && existing.Arity() != arity {
 		return fmt.Errorf("core: relation %s exists with arity %d, tuples have arity %d", pred, existing.Arity(), arity)
 	}
-	rel := db.cat.Ensure(pred, arity)
 	for i, tup := range tuples {
 		if len(tup) != arity {
 			return fmt.Errorf("core: tuple %d has arity %d, want %d", i, len(tup), arity)
@@ -472,23 +583,34 @@ func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 				return fmt.Errorf("core: tuple %d is not ground: %v", i, tup)
 			}
 		}
-		rel.Insert(relation.Tuple(tup))
-		db.prog.Facts = append(db.prog.Facts, program.Atom{Pred: pred, Args: tup})
-		db.source.Facts = append(db.source.Facts, program.Atom{Pred: pred, Args: tup})
 	}
+	next := cur.evolve()
+	next.analysis = cur.peekAnalysis() // fact-only: finiteness unchanged
+	rel := next.cat.Ensure(pred, arity)
+	for _, tup := range tuples {
+		rel.Insert(relation.Tuple(tup))
+		next.prog.Facts = append(next.prog.Facts, program.Atom{Pred: pred, Args: tup})
+		next.source.Facts = append(next.source.Facts, program.Atom{Pred: pred, Args: tup})
+	}
+	db.publish(next)
 	return nil
 }
 
 // Explain plans the query without running it (buffered/topdown plans
 // include split analysis; execution metrics are absent).
 func (db *DB) Explain(goals []program.Atom, opts Options) (*Plan, error) {
-	opts = db.applyPragmas(opts)
+	return db.current().Explain(goals, opts)
+}
+
+// Explain plans the query against this generation without running it.
+func (g *generation) Explain(goals []program.Atom, opts Options) (*Plan, error) {
+	opts = g.applyPragmas(opts)
 	goal, cons, err := goalAndConstraints(goals)
 	if err != nil {
 		// Fall back: describe the conjunction as top-down.
 		return &Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)}, nil
 	}
-	plan, _, err := db.plan(goal, cons, opts)
+	plan, _, err := g.plan(goal, cons, opts)
 	return plan, err
 }
 
@@ -519,14 +641,14 @@ type planned struct {
 //	@depth 8.              cost-model recursion-depth estimate
 //	@strategy buffered.    default strategy (auto|magic|magic_follow|
 //	                       magic_split|buffered|topdown|seminaive)
-func (db *DB) applyPragmas(opts Options) Options {
+func (g *generation) applyPragmas(opts Options) Options {
 	strategies := map[string]Strategy{
 		"auto": StrategyAuto, "magic": StrategyMagic, "magic_follow": StrategyMagicFollow,
 		"magic_split": StrategyMagicSplit, "buffered": StrategyBuffered,
 		"topdown": StrategyTopDown, "seminaive": StrategySeminaive,
 	}
 	pragmaSplit, pragmaFollow := 0.0, 0.0
-	for _, pr := range db.prog.Pragmas {
+	for _, pr := range g.prog.Pragmas {
 		switch pr.Name {
 		case "threshold":
 			if len(pr.Args) != 2 {
@@ -575,7 +697,7 @@ func (db *DB) applyPragmas(opts Options) Options {
 
 // plan decides the strategy for a single-goal query. Callers must have
 // applied pragmas to opts already (Query and Explain do).
-func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan, *planned, error) {
+func (g *generation) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan, *planned, error) {
 	pl := &Plan{Goal: goal.String(), Adornment: adorn.GoalAdornment(goal)}
 	pd := &planned{goal: goal, cons: cons}
 
@@ -586,7 +708,7 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 		return pl, pd, nil
 	}
 
-	idb := db.prog.IDB()
+	idb := g.prog.IDB()
 	if !idb[goal.Key()] {
 		pl.Strategy = StrategySeminaive
 		pl.Notes = append(pl.Notes, "EDB goal: direct relation lookup")
@@ -594,9 +716,9 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 		return pl, pd, nil
 	}
 
-	pd.an = db.analysisFor()
+	pd.an = g.analysisFor()
 	pd.graph = pd.an.Graph()
-	pl.Class = program.Classify(db.prog, pd.graph, goal.Key())
+	pl.Class = program.Classify(g.prog, pd.graph, goal.Key())
 
 	// Static finiteness check (§2.2).
 	if !pd.an.Finite(goal.Pred, goal.Arity(), pl.Adornment) {
@@ -611,7 +733,7 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 		// not need the chain form, and a compilation failure may be the
 		// very reason the fallback is running.
 		var err error
-		comp, err = chain.CompileCtx(opts.Ctx, db.prog, pd.graph, goal.Key())
+		comp, err = chain.CompileCtx(opts.Ctx, g.prog, pd.graph, goal.Key())
 		if err != nil {
 			if errors.Is(err, everr.ErrCanceled) || errors.Is(err, everr.ErrDeadline) {
 				return pl, nil, err
@@ -622,9 +744,9 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 		pl.NChains = comp.NChains()
 	}
 
-	functional := db.reachesFunctional(goal.Key(), pd.graph)
+	functional := g.reachesFunctional(goal.Key(), pd.graph)
 	boundAny := strings.ContainsRune(pl.Adornment, 'b')
-	negation := db.usesNegation()
+	negation := g.usesNegation()
 
 	chosen := opts.Strategy
 	if chosen == StrategyAuto {
@@ -642,7 +764,7 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 			}
 		case (pl.Class == program.ClassLinear || pl.Class == program.ClassNestedLinear) && boundAny && comp != nil && len(comp.RecRules) > 0:
 			chosen = StrategyBuffered
-		case pl.Class == program.ClassMutual && boundAny && comp != nil && db.linearMutualSCC(goal.Key(), pd.graph):
+		case pl.Class == program.ClassMutual && boundAny && comp != nil && g.linearMutualSCC(goal.Key(), pd.graph):
 			// Mutual recursion whose every rule has at most one
 			// same-SCC body literal: the buffered evaluator's context
 			// graph spans the SCC.
@@ -655,7 +777,7 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 		// except when the goal itself is consumed under negation, in
 		// which case no goal-direction remains.
 		if negation && (chosen == StrategyMagic || chosen == StrategyMagicFollow || chosen == StrategyMagicSplit) {
-			if db.goalUnderNegation(goal, pd.graph) {
+			if g.goalUnderNegation(goal, pd.graph) {
 				chosen = StrategySeminaive
 				pl.Notes = append(pl.Notes, "goal is consumed under negation: evaluated by stratified semi-naive")
 			}
@@ -678,7 +800,7 @@ func (db *DB) plan(goal program.Atom, cons []program.Atom, opts Options) (*Plan,
 
 	// Constraint pushing (Algorithm 3.3) for buffered plans.
 	if chosen == StrategyBuffered && len(cons) > 0 && comp != nil {
-		push, err := partial.PushConstraints(pd.an, comp, db.cat, goal, cons)
+		push, err := partial.PushConstraints(pd.an, comp, g.cat, goal, cons)
 		if err != nil {
 			return pl, nil, err
 		}
@@ -708,16 +830,16 @@ func describeSplit(rr chain.RecRule, sp chain.Split) string {
 // linearMutualSCC reports whether every rule of every predicate in the
 // goal's SCC has at most one same-SCC body literal — the shape the
 // buffered evaluator's SCC-wide context graph handles.
-func (db *DB) linearMutualSCC(key string, g *program.DepGraph) bool {
-	id := g.SCCOf(key)
+func (g *generation) linearMutualSCC(key string, dg *program.DepGraph) bool {
+	id := dg.SCCOf(key)
 	if id < 0 {
 		return false
 	}
 	inSCC := make(map[string]bool)
-	for _, m := range g.SCCs[id] {
+	for _, m := range dg.SCCs[id] {
 		inSCC[m] = true
 	}
-	for _, r := range db.prog.Rules {
+	for _, r := range g.prog.Rules {
 		if !inSCC[r.Head.Key()] {
 			continue
 		}
@@ -737,10 +859,10 @@ func (db *DB) linearMutualSCC(key string, g *program.DepGraph) bool {
 // goalUnderNegation reports whether the goal's predicate is in the
 // materialization closure of the program's negated literals (directly
 // or transitively consumed under negation).
-func (db *DB) goalUnderNegation(goal program.Atom, g *program.DepGraph) bool {
+func (g *generation) goalUnderNegation(goal program.Atom, dg *program.DepGraph) bool {
 	mat := make(map[string]bool)
 	var queue []string
-	for _, tos := range g.NegEdges {
+	for _, tos := range dg.NegEdges {
 		for _, to := range tos {
 			if !mat[to] {
 				mat[to] = true
@@ -751,7 +873,7 @@ func (db *DB) goalUnderNegation(goal program.Atom, g *program.DepGraph) bool {
 	for len(queue) > 0 {
 		k := queue[0]
 		queue = queue[1:]
-		for _, succ := range g.Edges[k] {
+		for _, succ := range dg.Edges[k] {
 			if !mat[succ] {
 				mat[succ] = true
 				queue = append(queue, succ)
@@ -763,8 +885,8 @@ func (db *DB) goalUnderNegation(goal program.Atom, g *program.DepGraph) bool {
 
 // usesNegation reports whether any rule body contains a negated
 // literal.
-func (db *DB) usesNegation() bool {
-	for _, r := range db.prog.Rules {
+func (g *generation) usesNegation() bool {
+	for _, r := range g.prog.Rules {
 		for _, b := range r.Body {
 			if b.Negated {
 				return true
@@ -777,20 +899,20 @@ func (db *DB) usesNegation() bool {
 // reachesFunctional reports whether any rule reachable from the goal's
 // predicate uses a functional builtin (cons, plus, times) — the
 // paper's functional-recursion criterion.
-func (db *DB) reachesFunctional(key string, g *program.DepGraph) bool {
+func (g *generation) reachesFunctional(key string, dg *program.DepGraph) bool {
 	reach := map[string]bool{key: true}
 	queue := []string{key}
 	for len(queue) > 0 {
 		k := queue[0]
 		queue = queue[1:]
-		for _, succ := range g.Edges[k] {
+		for _, succ := range dg.Edges[k] {
 			if !reach[succ] {
 				reach[succ] = true
 				queue = append(queue, succ)
 			}
 		}
 	}
-	for _, r := range db.prog.Rules {
+	for _, r := range g.prog.Rules {
 		if !reach[r.Head.Key()] {
 			continue
 		}
@@ -807,7 +929,7 @@ func (db *DB) reachesFunctional(key string, g *program.DepGraph) bool {
 // query plans and dispatches one query. track, when non-nil, receives
 // the plan as soon as it exists, so the panic-containment layer can
 // attribute a recovered panic to the strategy that was running.
-func (db *DB) query(goals []program.Atom, opts Options, track **Plan) (*Result, error) {
+func (g *generation) query(goals []program.Atom, opts Options, track **Plan) (*Result, error) {
 	setTrack := func(pl *Plan) {
 		if track != nil && pl != nil {
 			*track = pl
@@ -817,9 +939,9 @@ func (db *DB) query(goals []program.Atom, opts Options, track **Plan) (*Result, 
 	if err != nil {
 		// General conjunction: evaluate top-down.
 		setTrack(&Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)})
-		return db.runTopDownConjunction(goals, opts)
+		return g.runTopDownConjunction(goals, opts)
 	}
-	pl, pd, err := db.plan(goal, cons, opts)
+	pl, pd, err := g.plan(goal, cons, opts)
 	setTrack(pl)
 	if err != nil {
 		return &Result{Plan: pl}, err
@@ -827,21 +949,21 @@ func (db *DB) query(goals []program.Atom, opts Options, track **Plan) (*Result, 
 	res := &Result{Plan: pl}
 	switch pd.strategy {
 	case StrategySeminaive:
-		if db.prog.IDB()[goal.Key()] || builtin.IsBuiltin(goal.Pred, goal.Arity()) {
-			return db.runSeminaive(res, goal, cons, opts)
+		if g.prog.IDB()[goal.Key()] || builtin.IsBuiltin(goal.Pred, goal.Arity()) {
+			return g.runSeminaive(res, goal, cons, opts)
 		}
-		return db.runEDBLookup(res, goal, cons)
+		return g.runEDBLookup(res, goal, cons)
 	case StrategyMagic, StrategyMagicFollow, StrategyMagicSplit:
-		return db.runMagic(res, pd, opts)
+		return g.runMagic(res, pd, opts)
 	case StrategyBuffered:
-		r, err := db.runBuffered(res, pd, opts)
+		r, err := g.runBuffered(res, pd, opts)
 		if err != nil && !errors.Is(err, counting.ErrBudget) &&
 			!errors.Is(err, everr.ErrCanceled) && !errors.Is(err, everr.ErrDeadline) {
 			// Fall back to top-down scheduling (e.g. exit rules not
 			// schedulable under this adornment, or a nonlinear rule).
 			note := fmt.Sprintf("buffered evaluation failed (%v); fell back to top-down", err)
 			setTrack(&Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)})
-			r2, err2 := db.runTopDownConjunction(goals, opts)
+			r2, err2 := g.runTopDownConjunction(goals, opts)
 			if r2 != nil && r2.Plan != nil {
 				r2.Plan.Notes = append(r2.Plan.Notes, note)
 			}
@@ -849,12 +971,12 @@ func (db *DB) query(goals []program.Atom, opts Options, track **Plan) (*Result, 
 		}
 		return r, err
 	default:
-		return db.runTopDownConjunction(goals, opts)
+		return g.runTopDownConjunction(goals, opts)
 	}
 }
 
-func (db *DB) runEDBLookup(res *Result, goal program.Atom, cons []program.Atom) (*Result, error) {
-	rel := db.cat.Get(goal.Pred)
+func (g *generation) runEDBLookup(res *Result, goal program.Atom, cons []program.Atom) (*Result, error) {
+	rel := g.cat.Get(goal.Pred)
 	if rel == nil || rel.Arity() != goal.Arity() {
 		res.Answers = nil
 		return res, nil
@@ -890,13 +1012,20 @@ func (db *DB) runEDBLookup(res *Result, goal program.Atom, cons []program.Atom) 
 	return res, nil
 }
 
-func (db *DB) runSeminaive(res *Result, goal program.Atom, cons []program.Atom, opts Options) (*Result, error) {
-	cat := db.cat.Clone()
-	stats, err := seminaive.Eval(db.prog, cat, seminaive.Options{
+func (g *generation) runSeminaive(res *Result, goal program.Atom, cons []program.Atom, opts Options) (*Result, error) {
+	// Snapshot, not Clone: the engine's writes copy-on-write only the
+	// relations it actually derives into, and the generation's frozen
+	// relations are shared untouched.
+	cat := g.cat.Snapshot()
+	stats, err := seminaive.Eval(g.prog, cat, seminaive.Options{
 		Ctx:           opts.Ctx,
 		MaxIterations: opts.MaxIterations,
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
+		// Evaluate only the goal's dependency cone: an unrelated
+		// divergent recursion elsewhere in the program must not hang
+		// (or even slow) this query.
+		Goal: goal.Key(),
 	})
 	res.Metrics.Iterations = stats.Iterations
 	res.Metrics.DerivedTuples = stats.DerivedTuples
@@ -927,7 +1056,7 @@ func (db *DB) runSeminaive(res *Result, goal program.Atom, cons []program.Atom, 
 	return res, nil
 }
 
-func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) {
+func (g *generation) runMagic(res *Result, pd *planned, opts Options) (*Result, error) {
 	cfg := magic.Config{Thresholds: opts.Thresholds, Supplementary: true, Ctx: opts.Ctx}
 	switch pd.strategy {
 	case StrategyMagicFollow:
@@ -936,17 +1065,17 @@ func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) 
 		cfg.Policy = magic.PolicySplit
 	default:
 		cfg.Policy = magic.PolicyCost
-		cfg.Model = &cost.Model{Cat: db.cat, Depth: opts.CostDepth}
+		cfg.Model = &cost.Model{Cat: g.cat, Depth: opts.CostDepth}
 	}
 	var rw *magic.Rewritten
 	var err error
-	cat := db.cat.Clone()
-	if db.usesNegation() {
+	cat := g.cat.Snapshot()
+	if g.usesNegation() {
 		// Stratum-wise construction: materialize the negated strata
 		// first, then magic-rewrite the positive remainder against
 		// them.
 		var phase1 *program.Program
-		rw, phase1, err = magic.RewriteStratified(db.prog, pd.goal, cfg)
+		rw, phase1, err = magic.RewriteStratified(g.prog, pd.goal, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -966,7 +1095,7 @@ func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) 
 				fmt.Sprintf("stratified negation: %d rule(s) materialized before the magic phase", len(phase1.Rules)))
 		}
 	} else {
-		rw, err = magic.Rewrite(db.prog, pd.goal, cfg)
+		rw, err = magic.Rewrite(g.prog, pd.goal, cfg)
 		if err != nil {
 			return res, err
 		}
@@ -1002,7 +1131,7 @@ func (db *DB) runMagic(res *Result, pd *planned, opts Options) (*Result, error) 
 	return res, nil
 }
 
-func (db *DB) runBuffered(res *Result, pd *planned, opts Options) (*Result, error) {
+func (g *generation) runBuffered(res *Result, pd *planned, opts Options) (*Result, error) {
 	copts := counting.Options{
 		Ctx:        opts.Ctx,
 		MaxLevels:  opts.MaxLevels,
@@ -1012,7 +1141,7 @@ func (db *DB) runBuffered(res *Result, pd *planned, opts Options) (*Result, erro
 	if pd.push != nil {
 		copts.Acc = pd.push.Acc
 	}
-	ev := counting.New(db.prog, db.cat, pd.comp, copts)
+	ev := counting.New(g.prog, g.cat, pd.comp, copts)
 	raw, err := ev.Query(pd.goal)
 	st := ev.Stats()
 	res.Metrics.Contexts = st.Contexts
@@ -1032,9 +1161,11 @@ func (db *DB) runBuffered(res *Result, pd *planned, opts Options) (*Result, erro
 	return res, nil
 }
 
-func (db *DB) runTopDownConjunction(goals []program.Atom, opts Options) (*Result, error) {
+func (g *generation) runTopDownConjunction(goals []program.Atom, opts Options) (*Result, error) {
 	res := &Result{Plan: &Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)}}
-	e := topdown.New(db.prog, db.cat, topdown.Options{Ctx: opts.Ctx, MaxSteps: opts.MaxSteps})
+	// The top-down engine seeds program facts into its catalog; a
+	// snapshot keeps those (usually no-op) writes off the generation.
+	e := topdown.New(g.prog, g.cat.Snapshot(), topdown.Options{Ctx: opts.Ctx, MaxSteps: opts.MaxSteps})
 	answers, err := e.SolveConjunction(goals)
 	st := e.Stats()
 	res.Metrics.Steps = st.Steps

@@ -6,15 +6,20 @@
 // sentinels all wrap the taxonomy defined here, so callers can classify
 // any evaluation failure with errors.Is against exactly five causes:
 //
-//	ErrCanceled  the caller's context was canceled
-//	ErrDeadline  the caller's deadline (WithTimeout) passed
-//	ErrBudget    an iteration/tuple/step/answer budget was exceeded
-//	ErrUnsafe    the query or a rule is not safely (finitely) evaluable
-//	ErrPlan      planning/compilation failed before evaluation started
+//	ErrCanceled    the caller's context was canceled
+//	ErrDeadline    the caller's deadline (WithTimeout) passed
+//	ErrBudget      an iteration/tuple/step/answer budget was exceeded
+//	ErrUnsafe      the query or a rule is not safely (finitely) evaluable
+//	ErrPlan        planning/compilation failed before evaluation started
+//	ErrOverloaded  admission control shed the query before evaluation
 //
 // ErrPanic marks an internal invariant violation that was contained at
 // the API boundary instead of crashing the process; such failures are
 // always delivered as a *EvalError with PanicVal set.
+//
+// ErrOverloaded and ErrPanic are the transient causes: the same query
+// may well succeed if simply run again, which is why the retry layer
+// treats exactly those two as retryable.
 package everr
 
 import (
@@ -40,6 +45,11 @@ var (
 	ErrPlan = errors.New("query planning failed")
 	// ErrPanic marks an internal panic contained at the API boundary.
 	ErrPanic = errors.New("internal error (contained panic)")
+	// ErrOverloaded reports that admission control rejected the query:
+	// the concurrent-evaluation limit was reached and the wait queue
+	// was full. The query never started; retrying after backoff is
+	// reasonable.
+	ErrOverloaded = errors.New("server overloaded (admission queue full)")
 )
 
 // Tag returns an error that renders exactly as msg but matches cause

@@ -108,7 +108,7 @@ func runA3(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := run(db, goal, core.Options{Strategy: strat})
+			res, err := run(cfg, db, goal, core.Options{Strategy: strat})
 			if err != nil {
 				return err
 			}
@@ -152,7 +152,7 @@ func runA2(cfg Config) error {
 				// fresh query with no bound and count survivors.
 				q = fmt.Sprintf("?- travel(L, %s, DT, A, AT, F).", start)
 			}
-			res, err := run(db, q, opts)
+			res, err := run(cfg, db, q, opts)
 			if err != nil {
 				return err
 			}

@@ -74,7 +74,7 @@ func runT4(cfg Config) error {
 			return err
 		}
 		goal := program.NewAtom("append", term.IntList(vals...), term.IntList(-1), term.NewVar("W"))
-		out, err := db.Query([]program.Atom{goal}, core.Options{})
+		out, err := db.Query([]program.Atom{goal}, core.Options{Ctx: cfg.Ctx})
 		if err != nil {
 			return err
 		}
@@ -92,7 +92,7 @@ func runT4(cfg Config) error {
 		return err
 	}
 	goals, _ := lang.ParseQuery("?- append(U, [3], W).")
-	_, qerr := db.Query(goals.Goals, core.Options{})
+	_, qerr := db.Query(goals.Goals, core.Options{Ctx: cfg.Ctx})
 	fmt.Fprintf(cfg.Out, "\nchain-following / infeasible binding check:\n  ?- append(U, [3], W).  →  %v\n", qerr)
 	fmt.Fprintln(cfg.Out, "\nexpected shape: bbf/ffb finitely evaluable with one delayed cons;\n"+
 		"bff/fbf/fff rejected statically; buffered evaluation scales linearly\n"+

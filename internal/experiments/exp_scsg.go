@@ -46,7 +46,7 @@ func runT2(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := run(db, goal, core.Options{Strategy: strat})
+			res, err := run(cfg, db, goal, core.Options{Strategy: strat})
 			if err != nil {
 				return err
 			}
@@ -95,7 +95,7 @@ func runF1(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := run(db, goal, core.Options{Strategy: strat, TraceDeltas: true})
+			res, err := run(cfg, db, goal, core.Options{Strategy: strat, TraceDeltas: true})
 			if err != nil {
 				return err
 			}

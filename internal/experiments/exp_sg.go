@@ -39,7 +39,7 @@ func runT1(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := run(db, goal, core.Options{Strategy: strat})
+			res, err := run(cfg, db, goal, core.Options{Strategy: strat})
 			if err != nil {
 				return err
 			}
@@ -71,7 +71,7 @@ func runT9(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := run(db, goal, core.Options{Strategy: strat})
+		res, err := run(cfg, db, goal, core.Options{Strategy: strat})
 		if err != nil {
 			return err
 		}

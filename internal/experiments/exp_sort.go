@@ -49,7 +49,7 @@ func runT7(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := db.Query([]program.Atom{goal}, core.Options{Strategy: strat})
+			res, err := db.Query([]program.Atom{goal}, core.Options{Strategy: strat, Ctx: cfg.Ctx})
 			if err != nil {
 				return err
 			}
@@ -81,7 +81,7 @@ func runT8(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := db.Query([]program.Atom{goal}, core.Options{})
+		res, err := db.Query([]program.Atom{goal}, core.Options{Ctx: cfg.Ctx})
 		if err != nil {
 			return err
 		}

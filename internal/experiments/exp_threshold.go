@@ -24,13 +24,13 @@ func init() {
 }
 
 // bridgeRun evaluates the Bridge workload under one strategy.
-func bridgeRun(r, depth int, strat core.Strategy) (*core.Result, error) {
+func bridgeRun(cfg Config, r, depth int, strat core.Strategy) (*core.Result, error) {
 	facts := workload.Bridge(workload.BridgeConfig{Depth: depth, Expansion: r})
 	db, err := buildDB(workload.BridgeRules(), facts)
 	if err != nil {
 		return nil, err
 	}
-	return run(db, "?- r2(a0, Y).", core.Options{Strategy: strat})
+	return run(cfg, db, "?- r2(a0, Y).", core.Options{Strategy: strat})
 }
 
 func runT3(cfg Config) error {
@@ -45,15 +45,15 @@ func runT3(cfg Config) error {
 	t := newTable(cfg.Out, "expansion", "magic(follow)", "magic(split)", "derived(follow)", "derived(split)", "cost-policy-chose", "optimal", "agree")
 	agree := 0
 	for _, r := range ratios {
-		follow, err := bridgeRun(r, depth, core.StrategyMagicFollow)
+		follow, err := bridgeRun(cfg, r, depth, core.StrategyMagicFollow)
 		if err != nil {
 			return err
 		}
-		split, err := bridgeRun(r, depth, core.StrategyMagicSplit)
+		split, err := bridgeRun(cfg, r, depth, core.StrategyMagicSplit)
 		if err != nil {
 			return err
 		}
-		costRes, err := bridgeRun(r, depth, core.StrategyMagic)
+		costRes, err := bridgeRun(cfg, r, depth, core.StrategyMagic)
 		if err != nil {
 			return err
 		}
@@ -95,11 +95,11 @@ func runF2(cfg Config) error {
 	}
 	t := newTable(cfg.Out, "expansion", "magic-ratio (follow/split)", "derived-ratio", "time-ratio")
 	for _, r := range ratios {
-		follow, err := bridgeRun(r, depth, core.StrategyMagicFollow)
+		follow, err := bridgeRun(cfg, r, depth, core.StrategyMagicFollow)
 		if err != nil {
 			return err
 		}
-		split, err := bridgeRun(r, depth, core.StrategyMagicSplit)
+		split, err := bridgeRun(cfg, r, depth, core.StrategyMagicSplit)
 		if err != nil {
 			return err
 		}

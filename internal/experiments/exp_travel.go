@@ -52,7 +52,7 @@ func runT5(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			res, err := run(db, goal, core.Options{Strategy: strat})
+			res, err := run(cfg, db, goal, core.Options{Strategy: strat})
 			if err != nil {
 				return err
 			}
@@ -90,7 +90,7 @@ func runT6(cfg Config) error {
 	// routes one flight per propagation, so work is quadratic in the
 	// answer budget — 1500 answers suffices to demonstrate divergence.
 	goals, _ := lang.ParseQuery(fmt.Sprintf("?- travel(L, %s, DT, A, AT, F).", start))
-	_, uerr := db.Query(goals.Goals, core.Options{MaxLevels: 50, MaxAnswers: 1500})
+	_, uerr := db.Query(goals.Goals, core.Options{MaxLevels: 50, MaxAnswers: 1500, Ctx: cfg.Ctx})
 	diverges := "terminated (unexpected)"
 	if errors.Is(uerr, counting.ErrBudget) || errors.Is(uerr, seminaive.ErrBudget) {
 		diverges = "budget exceeded (diverges, as the paper predicts)"
@@ -105,7 +105,7 @@ func runT6(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := run(db, fmt.Sprintf("?- travel(L, %s, DT, A, AT, F), F =< %d.", start, b),
+		res, err := run(cfg, db, fmt.Sprintf("?- travel(L, %s, DT, A, AT, F), F =< %d.", start, b),
 			core.Options{MaxLevels: 100000})
 		if err != nil {
 			return err
@@ -134,7 +134,7 @@ func runF3(cfg Config) error {
 		return err
 	}
 	goal := fmt.Sprintf("?- travel(L, %s, DT, A, AT, F).", workload.CityName(0, 0))
-	res, err := run(db, goal, core.Options{Strategy: core.StrategyBuffered, TraceDeltas: true})
+	res, err := run(cfg, db, goal, core.Options{Strategy: core.StrategyBuffered, TraceDeltas: true})
 	if err != nil {
 		return err
 	}

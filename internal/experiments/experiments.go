@@ -10,8 +10,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -28,6 +30,23 @@ type Config struct {
 	Out io.Writer
 	// Quick shrinks workload sizes (used by -quick and unit tests).
 	Quick bool
+	// Ctx, when non-nil, bounds the whole run: experiments abort with
+	// a typed error when it ends (benchtab -timeout).
+	Ctx context.Context
+	// Parallel is the client concurrency for the concurrent-serving
+	// experiment (benchtab -parallel; 0 = GOMAXPROCS, min 4).
+	Parallel int
+}
+
+// parallel resolves the client concurrency.
+func (cfg Config) parallel() int {
+	if cfg.Parallel > 0 {
+		return cfg.Parallel
+	}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
 }
 
 // Experiment is one reproducible table or figure.
@@ -47,7 +66,7 @@ var registry []Experiment
 func register(e Experiment) { registry = append(registry, e) }
 
 // All returns the experiments in ID order: tables (T*), then figures
-// (F*), then ablations (A*).
+// (F*), then the rest (A* ablations, C* concurrency).
 func All() []Experiment {
 	rank := func(c byte) int {
 		switch c {
@@ -99,12 +118,15 @@ func buildDB(rules string, facts ...*program.Program) (*core.DB, error) {
 	return db, nil
 }
 
-// run executes one query and returns the result (timing is inside
-// Result.Metrics.Duration).
-func run(db *core.DB, query string, opts core.Options) (*core.Result, error) {
+// run executes one query under the run's context and returns the
+// result (timing is inside Result.Metrics.Duration).
+func run(cfg Config, db *core.DB, query string, opts core.Options) (*core.Result, error) {
 	goals, err := lang.ParseQuery(query)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = cfg.Ctx
 	}
 	return db.Query(goals.Goals, opts)
 }

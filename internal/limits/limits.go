@@ -32,4 +32,11 @@ const (
 	// DefaultMaxAnswers bounds total answers across contexts in
 	// buffered chain-split evaluation.
 	DefaultMaxAnswers = 1_000_000
+	// DefaultMaxConcurrent bounds concurrently evaluating queries per
+	// DB (admission control); queries beyond it wait in the admission
+	// queue.
+	DefaultMaxConcurrent = 128
+	// DefaultMaxQueue bounds queries waiting for admission; overflow
+	// is shed with ErrOverloaded instead of queueing unboundedly.
+	DefaultMaxQueue = 1024
 )

@@ -64,6 +64,26 @@ func NewDepGraph(p *Program) *DepGraph {
 	return g
 }
 
+// Reachable returns the set of predicate keys transitively reachable
+// from start (including start itself) along dependency edges — the
+// goal's dependency cone. Negated dependencies are included: Edges
+// holds every body literal, negated or not.
+func (g *DepGraph) Reachable(start string) map[string]bool {
+	out := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range g.Edges[k] {
+			if !out[n] {
+				out[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return out
+}
+
 // CheckStratified verifies no predicate depends negatively on its own
 // SCC: recursion through negation has no stratified model and is
 // rejected.

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"chainsplit/internal/term"
 )
@@ -85,11 +87,25 @@ func colsKey(cols []int) string {
 
 // Relation is a set of ground tuples of fixed arity with insertion
 // order preserved and incrementally maintained column indexes.
+//
+// A relation has two lifecycle phases. While unfrozen it is owned by a
+// single goroutine (a loader or an evaluation engine) and may be
+// mutated freely. Freeze marks it immutable: from then on any number
+// of goroutines may read it concurrently — the only remaining internal
+// mutation is lazy index construction, which idxMu serializes — and
+// Insert panics. Catalog.Snapshot freezes every relation it shares,
+// which is what makes copy-on-write database generations safe.
 type Relation struct {
 	name    string
 	arity   int
 	tuples  []Tuple
 	present map[string]bool
+
+	// frozen marks the relation immutable (shared between snapshots).
+	frozen atomic.Bool
+	// idxMu guards indexes: frozen relations still build indexes
+	// lazily on first lookup, possibly from several readers at once.
+	idxMu   sync.RWMutex
 	indexes map[string]*colIndex
 }
 
@@ -112,10 +128,21 @@ func (r *Relation) Arity() int { return r.arity }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
+// Freeze marks the relation immutable: Insert panics from now on, and
+// concurrent readers (including lazy index builds) are safe. Freezing
+// is one-way and idempotent.
+func (r *Relation) Freeze() { r.frozen.Store(true) }
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen.Load() }
+
 // Insert adds the tuple if absent; it reports whether the relation
-// grew. It panics on arity mismatch or non-ground tuples — both are
-// engine bugs, not data errors.
+// grew. It panics on arity mismatch, non-ground tuples, or a frozen
+// relation — all engine bugs, not data errors.
 func (r *Relation) Insert(t Tuple) bool {
+	if r.frozen.Load() {
+		panic(fmt.Sprintf("relation %s/%d: insert into frozen (snapshot-shared) relation", r.name, r.arity))
+	}
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation %s/%d: inserting tuple of width %d", r.name, r.arity, len(t)))
 	}
@@ -158,18 +185,31 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // At returns the i-th tuple in insertion order.
 func (r *Relation) At(i int) Tuple { return r.tuples[i] }
 
-// index returns (building if needed) the index on cols.
+// index returns (building if needed) the index on cols. Lazy builds
+// are the one mutation frozen relations still perform, so the index
+// map is read and published under idxMu; the build itself runs outside
+// the critical section (tuples are stable: append-only for the single
+// owner, immutable once frozen) and the first publication wins.
 func (r *Relation) index(cols []int) *colIndex {
 	ck := colsKey(cols)
-	if idx, ok := r.indexes[ck]; ok {
+	r.idxMu.RLock()
+	idx, ok := r.indexes[ck]
+	r.idxMu.RUnlock()
+	if ok {
 		return idx
 	}
-	idx := &colIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	idx = &colIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
 	for pos, t := range r.tuples {
 		pk := t.KeyOn(cols)
 		idx.buckets[pk] = append(idx.buckets[pk], pos)
 	}
-	r.indexes[ck] = idx
+	r.idxMu.Lock()
+	if existing, ok := r.indexes[ck]; ok {
+		idx = existing // another reader won the build race
+	} else {
+		r.indexes[ck] = idx
+	}
+	r.idxMu.Unlock()
 	return idx
 }
 
@@ -195,12 +235,21 @@ func (r *Relation) LookupOn(cols []int, values Tuple) []Tuple {
 // DistinctOn returns the number of distinct projections onto cols.
 func (r *Relation) DistinctOn(cols []int) int { return len(r.index(cols).buckets) }
 
-// Clone returns an independent copy (tuples shared — they are
-// immutable).
+// Clone returns an independent, unfrozen copy of the relation that the
+// caller may mutate freely.
+//
+// Tuple-sharing contract: the clone shares the Tuple values (and the
+// terms inside them) with the original — only the containers (tuple
+// slice, presence set) are copied. This aliasing is safe because
+// tuples are ground on insertion and term values are never mutated
+// anywhere in the system; no caller may mutate a Tuple obtained from a
+// relation, cloned or not. Indexes are not copied — the clone rebuilds
+// them lazily on first lookup.
 func (r *Relation) Clone() *Relation {
 	c := New(r.name, r.arity)
-	for _, t := range r.tuples {
-		c.Insert(t)
+	c.tuples = append(make([]Tuple, 0, len(r.tuples)), r.tuples...)
+	for k := range r.present {
+		c.present[k] = true
 	}
 	return c
 }
@@ -327,6 +376,14 @@ func (r *Relation) String() string {
 
 // Catalog is a named collection of relations (the EDB plus any derived
 // relations an engine materializes).
+//
+// Catalogs support copy-on-write snapshots: Snapshot returns a new
+// catalog sharing every relation with the original after freezing them
+// all, and Ensure transparently replaces a frozen relation with a
+// private clone the first time this catalog needs to write it. A
+// catalog is single-owner while being written; once published (shared
+// between goroutines) it must only be read — Freeze/Snapshot enforce
+// this at the relation level.
 type Catalog struct {
 	rels map[string]*Relation
 }
@@ -337,13 +394,20 @@ func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
 // Get returns the relation with the given name, or nil.
 func (c *Catalog) Get(name string) *Relation { return c.rels[name] }
 
-// Ensure returns the relation with the given name, creating it (with
-// the given arity) if absent. It panics if an existing relation has a
-// different arity.
+// Ensure returns a writable relation with the given name, creating it
+// (with the given arity) if absent. It panics if an existing relation
+// has a different arity. When the existing relation is frozen (shared
+// with a snapshot), Ensure replaces it with a private clone — the
+// copy-on-write step — so callers may always Insert into the result.
+// Use Get for read-only access: it never copies.
 func (c *Catalog) Ensure(name string, arity int) *Relation {
 	if r, ok := c.rels[name]; ok {
 		if r.arity != arity {
 			panic(fmt.Sprintf("catalog: %s exists with arity %d, requested %d", name, r.arity, arity))
+		}
+		if r.Frozen() {
+			r = r.Clone()
+			c.rels[name] = r
 		}
 		return r
 	}
@@ -362,13 +426,38 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
-// Clone deep-copies the catalog.
+// Clone deep-copies the catalog (every relation is cloned eagerly).
+// Prefer Snapshot, which shares relations copy-on-write and is O(#relations).
 func (c *Catalog) Clone() *Catalog {
 	out := NewCatalog()
 	for n, r := range c.rels {
 		out.rels[n] = r.Clone()
 	}
 	return out
+}
+
+// Snapshot returns a catalog sharing every relation with c, after
+// freezing them all. The snapshot (and c itself) may then be read by
+// any number of goroutines; the first write through either catalog's
+// Ensure replaces the touched relation with a private clone, leaving
+// the shared one untouched. Snapshot is safe to call concurrently on a
+// published (frozen) catalog.
+func (c *Catalog) Snapshot() *Catalog {
+	out := &Catalog{rels: make(map[string]*Relation, len(c.rels))}
+	for n, r := range c.rels {
+		r.Freeze()
+		out.rels[n] = r
+	}
+	return out
+}
+
+// Freeze marks every relation in the catalog immutable. Publishing a
+// catalog for concurrent readers requires freezing it first; Snapshot
+// does so implicitly.
+func (c *Catalog) Freeze() {
+	for _, r := range c.rels {
+		r.Freeze()
+	}
 }
 
 // TotalTuples returns the total tuple count across all relations.

@@ -1,0 +1,153 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chainsplit/internal/everr"
+)
+
+func TestDefaultRetryableClassification(t *testing.T) {
+	wrapped := &everr.EvalError{Strategy: "seminaive", Err: everr.Tag("boom", everr.ErrPanic)}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"overloaded", everr.ErrOverloaded, true},
+		{"panic", everr.ErrPanic, true},
+		{"wrapped panic", wrapped, true},
+		{"canceled", everr.ErrCanceled, false},
+		{"deadline", everr.ErrDeadline, false},
+		{"budget", everr.ErrBudget, false},
+		{"unsafe", everr.ErrUnsafe, false},
+		{"plan", everr.ErrPlan, false},
+		{"plain", errors.New("nope"), false},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		if got := DefaultRetryable(tc.err); got != tc.want {
+			t.Errorf("DefaultRetryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	retries, err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return everr.ErrOverloaded
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || retries != 2 {
+		t.Errorf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestDoStopsOnTerminalError(t *testing.T) {
+	for _, terminal := range []error{everr.ErrUnsafe, everr.ErrBudget, everr.ErrCanceled} {
+		p := Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}
+		calls := 0
+		retries, err := p.Do(context.Background(), func() error {
+			calls++
+			return terminal
+		})
+		if calls != 1 || retries != 0 || !errors.Is(err, terminal) {
+			t.Errorf("%v: calls=%d retries=%d err=%v", terminal, calls, retries, err)
+		}
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}
+	calls := 0
+	retries, err := p.Do(context.Background(), func() error {
+		calls++
+		return everr.ErrPanic
+	})
+	if calls != 3 || retries != 2 || !errors.Is(err, everr.ErrPanic) {
+		t.Errorf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	retries, err := Policy{}.Do(context.Background(), func() error {
+		calls++
+		return everr.ErrOverloaded
+	})
+	if calls != 1 || retries != 0 || !errors.Is(err, everr.ErrOverloaded) {
+		t.Errorf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestDoHonorsContextDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour}
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	retries, err := p.Do(ctx, func() error {
+		calls++
+		return everr.ErrOverloaded
+	})
+	if calls != 1 || retries != 0 {
+		t.Errorf("calls=%d retries=%d", calls, retries)
+	}
+	if !errors.Is(err, everr.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Do slept through cancellation")
+	}
+}
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // retry 1
+		20 * time.Millisecond, // retry 2
+		40 * time.Millisecond, // retry 3
+		40 * time.Millisecond, // retry 4: capped
+	}
+	for i, w := range want {
+		if got := p.delay(i + 1); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.delay(1)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 150ms]", d)
+		}
+	}
+}
+
+func TestCustomRetryable(t *testing.T) {
+	sentinel := errors.New("flaky")
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		Retryable:   func(err error) bool { return errors.Is(err, sentinel) },
+	}
+	calls := 0
+	_, err := p.Do(context.Background(), func() error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 || !errors.Is(err, sentinel) {
+		t.Errorf("calls=%d err=%v", calls, err)
+	}
+}

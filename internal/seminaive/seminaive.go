@@ -50,6 +50,11 @@ type Options struct {
 	// TraceDeltas records per-iteration delta cardinalities (used to
 	// regenerate the paper's iteration-profile figures).
 	TraceDeltas bool
+	// Goal, when set to a predicate key ("pred/arity"), restricts
+	// evaluation to the SCCs in the goal's dependency cone. Unrelated
+	// recursions in the same program — including divergent ones — are
+	// not evaluated. Empty evaluates the whole program.
+	Goal string
 }
 
 func (o Options) maxIterations() int {
@@ -105,8 +110,14 @@ type Engine struct {
 func New(p *program.Program, cat *relation.Catalog, opts Options) *Engine {
 	e := &Engine{prog: p, graph: program.NewDepGraph(p), cat: cat, opts: opts, idb: p.IDB()}
 	for _, f := range p.Facts {
-		rel := cat.Ensure(relName(f.Pred), f.Arity())
-		rel.Insert(relation.Tuple(f.Args))
+		tup := relation.Tuple(f.Args)
+		// Skip facts already present: on a copy-on-write snapshot of a
+		// live database the EDB is pre-loaded, and going through Ensure
+		// would pointlessly clone every shared fact relation.
+		if rel := cat.Get(relName(f.Pred)); rel != nil && rel.Arity() == f.Arity() && rel.Contains(tup) {
+			continue
+		}
+		cat.Ensure(relName(f.Pred), f.Arity()).Insert(tup)
 	}
 	return e
 }
@@ -123,16 +134,31 @@ func (e *Engine) Run() error {
 	if err := e.graph.CheckStratified(); err != nil {
 		return fmt.Errorf("%w: %v", ErrUnsafe, err)
 	}
-	// Pre-create IDB relations (arity from rule heads).
+	// Pre-create IDB relations (arity from rule heads). Relations that
+	// already exist are left alone — Ensure on a snapshot-shared
+	// relation would clone it, and mere existence needs no write.
+	ensure := func(pred string, arity int) {
+		if rel := e.cat.Get(pred); rel != nil && rel.Arity() == arity {
+			return
+		}
+		e.cat.Ensure(pred, arity)
+	}
 	for _, r := range e.prog.Rules {
-		e.cat.Ensure(relName(r.Head.Pred), r.Head.Arity())
+		ensure(relName(r.Head.Pred), r.Head.Arity())
 		for _, b := range r.Body {
 			if !b.IsBuiltin() {
-				e.cat.Ensure(relName(b.Pred), b.Arity())
+				ensure(relName(b.Pred), b.Arity())
 			}
 		}
 	}
+	var cone map[string]bool
+	if e.opts.Goal != "" {
+		cone = e.graph.Reachable(e.opts.Goal)
+	}
 	for _, scc := range e.graph.SCCs {
+		if cone != nil && !sccInCone(scc, cone) {
+			continue
+		}
 		if err := everr.Check(e.opts.Ctx); err != nil {
 			return err
 		}
@@ -141,6 +167,18 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// sccInCone reports whether any member of the SCC is in the goal's
+// dependency cone (SCC membership makes any-member equivalent to
+// all-members).
+func sccInCone(scc []string, cone map[string]bool) bool {
+	for _, k := range scc {
+		if cone[k] {
+			return true
+		}
+	}
+	return false
 }
 
 // sccRules returns the rules whose head is in the SCC.

@@ -293,3 +293,41 @@ tc(X, Y) :- e(X, Z), tc(Z, Y).`)
 		t.Errorf("tc = %d, want 3", got)
 	}
 }
+
+func TestGoalConeRestriction(t *testing.T) {
+	src := `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(a, b). e(b, c).
+other(X, Y) :- f(X, Y).
+other(X, Y) :- f(X, Z), other(Z, Y).
+f(p, q). f(q, r).
+`
+	// Restricted to tc's cone, the other recursion is not evaluated.
+	cat, _, err := run(t, src, Options{Goal: "tc/2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.Get("tc").Len(); got != 3 {
+		t.Errorf("tc = %d tuples, want 3", got)
+	}
+	if rel := cat.Get("other"); rel != nil && rel.Len() != 0 {
+		t.Errorf("other evaluated outside the goal cone: %d tuples", rel.Len())
+	}
+	// An unknown goal evaluates nothing beyond the EDB.
+	cat2, _, err := run(t, src, Options{Goal: "nosuch/1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat2.Get("tc").Len(); got != 0 {
+		t.Errorf("tc evaluated under an unrelated goal: %d tuples", got)
+	}
+	// Empty goal keeps the whole-program behavior.
+	cat3, _, err := run(t, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat3.Get("tc").Len() != 3 || cat3.Get("other").Len() != 3 {
+		t.Error("whole-program evaluation changed")
+	}
+}

@@ -127,7 +127,14 @@ func New(prog *program.Program, cat *relation.Catalog, opts Options) *Engine {
 		renamer:    term.NewRenamer("_T"),
 	}
 	for _, f := range prog.Facts {
-		cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args))
+		tup := relation.Tuple(f.Args)
+		// Facts already present (the usual case on a copy-on-write
+		// snapshot of a live database) need no write; Ensure would
+		// clone the shared relation.
+		if rel := cat.Get(f.Pred); rel != nil && rel.Arity() == f.Arity() && rel.Contains(tup) {
+			continue
+		}
+		cat.Ensure(f.Pred, f.Arity()).Insert(tup)
 	}
 	return e
 }

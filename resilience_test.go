@@ -298,3 +298,28 @@ func TestTaxonomyDisjoint(t *testing.T) {
 		t.Error("static rejection lost its legacy ErrNotFinitelyEvaluable identity")
 	}
 }
+
+// TestUnrelatedDivergentRecursionDoesNotHang: bottom-up evaluation of
+// a finite goal must stay inside the goal's dependency cone. Before
+// the cone restriction, the semi-naive engine evaluated the whole
+// program to fixpoint, so this query — which never mentions travel —
+// diverged with the cyclic flight graph. (Found by the chaos soak.)
+func TestUnrelatedDivergentRecursionDoesNotHang(t *testing.T) {
+	db := Open()
+	mustExec(t, db, finiteTCSrc+cyclicTravelSrc)
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = db.Query("?- tc(n0, Y).", WithStrategy(StrategySeminaive))
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("seminaive query evaluated the unrelated divergent recursion")
+	}
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("rows=%d err=%v, want 3 answers", len(res.Rows), err)
+	}
+}
