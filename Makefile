@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet race bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,11 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Fast benchmark smoke: compiles and executes every join-path and term
+# micro-benchmark a handful of iterations (catching bit-rot, not
+# measuring), then exercises the BENCH_*.json recording path end to
+# end via benchtab -quick.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=10x ./internal/relation/ ./internal/term/
+	$(GO) run ./cmd/benchtab -exp C2 -quick -json /tmp/chainsplit-bench

@@ -154,6 +154,17 @@ func WithLimit(n int) Option {
 	return func(q *queryConfig) { q.opts.Limit = n }
 }
 
+// WithWorkers bounds the goroutines one bottom-up fixpoint round fans
+// its (rule × delta) work items across, overriding the database-wide
+// Config.Workers for this query (0 = database default, 1 = serial).
+// Parallel evaluation is bit-identical to serial: same answers in the
+// same order, same metrics. Workers multiply under load — a saturated
+// server runs up to MaxConcurrent × Workers evaluation goroutines —
+// so size the product to the machine, not each knob alone.
+func WithWorkers(n int) Option {
+	return func(q *queryConfig) { q.opts.Workers = n }
+}
+
 // RetryPolicy configures WithRetry: how many attempts a query gets and
 // the capped exponential backoff (with jitter) between them. The zero
 // value disables retries.
@@ -205,6 +216,9 @@ type Result struct {
 type DB struct {
 	inner *core.DB
 	adm   *admission.Controller
+	// workers is the Config.Workers default applied when a query does
+	// not set WithWorkers.
+	workers int
 }
 
 // Config sizes the serving layer of a database opened with OpenWith.
@@ -218,6 +232,12 @@ type Config struct {
 	// (0 = limits.DefaultMaxQueue, currently 1024; negative = no
 	// queue).
 	MaxQueue int
+	// Workers is the default per-query fixpoint parallelism (0 or 1 =
+	// serial); WithWorkers overrides it per query. Results are
+	// bit-identical to serial evaluation either way. Admission control
+	// and Workers compose: the server runs at most MaxConcurrent
+	// evaluations, each using up to Workers goroutines.
+	Workers int
 }
 
 // Open returns an empty database with default serving limits.
@@ -226,7 +246,8 @@ func Open() *DB { return OpenWith(Config{}) }
 // OpenWith returns an empty database with explicit serving limits.
 func OpenWith(cfg Config) *DB {
 	return &DB{
-		inner: core.NewDB(),
+		inner:   core.NewDB(),
+		workers: cfg.Workers,
 		adm: admission.New(admission.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			MaxQueue:      cfg.MaxQueue,
@@ -402,6 +423,9 @@ func (db *DB) prepare(q string, options []Option) ([]program.Atom, queryConfig, 
 	var qc queryConfig
 	for _, o := range options {
 		o(&qc)
+	}
+	if qc.opts.Workers == 0 {
+		qc.opts.Workers = db.workers
 	}
 	return parsed.Goals, qc, nil
 }

@@ -10,6 +10,8 @@
 //	benchtab -quick       # smaller workloads (sanity pass)
 //	benchtab -timeout 2m  # bound the whole run (typed error on expiry)
 //	benchtab -parallel 8  # client concurrency for C1 (default GOMAXPROCS)
+//	benchtab -json .      # record perf experiments as BENCH_<ID>.json files
+//	benchtab -workers 4   # per-query fixpoint parallelism (results unchanged)
 package main
 
 import (
@@ -27,6 +29,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	parallel := flag.Int("parallel", 0, "client concurrency for the concurrent-serving experiment (0 = GOMAXPROCS, min 4)")
+	workers := flag.Int("workers", 0, "per-query fixpoint parallelism (0 or 1 = serial; results are identical either way)")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<ID>.json perf records into (empty = don't)")
 	flag.Parse()
 
 	if *list {
@@ -42,7 +46,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Ctx: ctx, Parallel: *parallel}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: negative -workers %d (use 0 or 1 for serial)\n", *workers)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Ctx: ctx, Parallel: *parallel, Workers: *workers, JSONDir: *jsonDir}
 	if *exp != "" {
 		e, ok := experiments.Lookup(*exp)
 		if !ok {

@@ -52,6 +52,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 10s); 0 means none")
 	maxTuples := flag.Int("max-tuples", 0, "bound on evaluation effort per query (derived tuples, resolution steps, buffered answers); 0 keeps the defaults")
 	concurrency := flag.Int("concurrency", 0, "max in-flight queries before load shedding; 0 keeps the default")
+	workers := flag.Int("workers", 0, "goroutines per bottom-up fixpoint round (results identical to serial); 0 or 1 means serial")
 	flag.Parse()
 
 	strat, ok := strategies[*strategyName]
@@ -67,8 +68,11 @@ func main() {
 	if *concurrency < 0 {
 		fail("negative -concurrency %d (use 0 for the default)", *concurrency)
 	}
+	if *workers < 0 {
+		fail("negative -workers %d (use 0 or 1 for serial)", *workers)
+	}
 
-	db := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: *concurrency})
+	db := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: *concurrency, Workers: *workers})
 	var embedded []string
 	for _, path := range flag.Args() {
 		var data []byte

@@ -123,6 +123,12 @@ type Options struct {
 	// conclusion calls for integrating chain-split evaluation with
 	// existence checking.
 	Limit int
+	// Workers bounds the goroutines a bottom-up fixpoint round fans its
+	// work items across (0 or 1 = serial). Parallel evaluation is
+	// bit-identical to serial — same answers, same insertion order,
+	// same metrics — and respects Ctx cancellation and the tuple /
+	// iteration budgets; see seminaive.Options.Workers.
+	Workers int
 	// fallbackRerun marks the internal semi-naive re-run after a failed
 	// StrategyAuto plan; it suppresses chain compilation (whose failure
 	// may be what triggered the fallback) and further fallbacks.
@@ -988,8 +994,8 @@ func (g *generation) runEDBLookup(res *Result, goal program.Atom, cons []program
 		}
 	}
 	sel := rel.Select(constraints)
-	var raw [][]term.Term
-	for _, tup := range sel.Tuples() {
+	raw := make([][]term.Term, 0, sel.Len())
+	sel.Each(func(tup relation.Tuple) bool {
 		// Non-ground non-var patterns (e.g. p([X|T])) still need a
 		// unification filter.
 		s := term.NewSubst()
@@ -1003,7 +1009,8 @@ func (g *generation) runEDBLookup(res *Result, goal program.Atom, cons []program
 		if ok {
 			raw = append(raw, []term.Term(tup))
 		}
-	}
+		return true
+	})
 	ans, err := partial.FilterAnswers(goal, cons, raw)
 	if err != nil {
 		return res, err
@@ -1022,6 +1029,7 @@ func (g *generation) runSeminaive(res *Result, goal program.Atom, cons []program
 		MaxIterations: opts.MaxIterations,
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
+		Workers:       opts.Workers,
 		// Evaluate only the goal's dependency cone: an unrelated
 		// divergent recursion elsewhere in the program must not hang
 		// (or even slow) this query.
@@ -1045,9 +1053,10 @@ func (g *generation) runSeminaive(res *Result, goal program.Atom, cons []program
 		}
 	}
 	var raw [][]term.Term
-	for _, tup := range rel.Select(constraints).Tuples() {
+	rel.Select(constraints).Each(func(tup relation.Tuple) bool {
 		raw = append(raw, []term.Term(tup))
-	}
+		return true
+	})
 	ans, err := partial.FilterAnswers(goal, cons, raw)
 	if err != nil {
 		return res, err
@@ -1084,6 +1093,7 @@ func (g *generation) runMagic(res *Result, pd *planned, opts Options) (*Result, 
 				Ctx:           opts.Ctx,
 				MaxIterations: opts.MaxIterations,
 				MaxTuples:     opts.MaxTuples,
+				Workers:       opts.Workers,
 			})
 			res.Metrics.Iterations += p1stats.Iterations
 			res.Metrics.DerivedTuples += p1stats.DerivedTuples
@@ -1106,6 +1116,7 @@ func (g *generation) runMagic(res *Result, pd *planned, opts Options) (*Result, 
 		MaxIterations: opts.MaxIterations,
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
+		Workers:       opts.Workers,
 	})
 	res.Metrics.Iterations += stats.Iterations
 	res.Metrics.DerivedTuples += stats.DerivedTuples
@@ -1120,9 +1131,10 @@ func (g *generation) runMagic(res *Result, pd *planned, opts Options) (*Result, 
 		return res, err
 	}
 	var raw [][]term.Term
-	for _, tup := range magic.Answers(cat, rw, pd.goal).Tuples() {
+	magic.Answers(cat, rw, pd.goal).Each(func(tup relation.Tuple) bool {
 		raw = append(raw, []term.Term(tup))
-	}
+		return true
+	})
 	ans, err := partial.FilterAnswers(pd.goal, pd.cons, raw)
 	if err != nil {
 		return res, err

@@ -744,7 +744,12 @@ func matchRelation(rel *relation.Relation, g program.Atom, s term.Subst) ([]term
 	if len(cols) > 0 {
 		candidates = rel.LookupOn(cols, vals)
 	} else {
-		candidates = rel.Tuples()
+		// Full scan without copying the tuple slice out of the relation.
+		candidates = make([]relation.Tuple, 0, rel.Len())
+		rel.Each(func(tup relation.Tuple) bool {
+			candidates = append(candidates, tup)
+			return true
+		})
 	}
 	var out []term.Subst
 	for _, tup := range candidates {

@@ -1,0 +1,190 @@
+package experiments
+
+// C2–C4: the perf-trajectory experiments behind benchtab -json. Each
+// one measures an end-to-end C-series query (the chain-split magic
+// workloads the paper's analysis centers on, plus one functional
+// recursion) with testing.Benchmark, and — when Config.JSONDir is set —
+// records the numbers as BENCH_<ID>.json so successive revisions can
+// be compared commit-to-commit. The committed BENCH_*.baseline.json
+// files hold the same measurements taken at the seed revision.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/program"
+	"chainsplit/internal/term"
+	"chainsplit/internal/workload"
+)
+
+// BenchRecord is the schema of a BENCH_<experiment>.json file.
+type BenchRecord struct {
+	Experiment  string `json:"experiment"`
+	Title       string `json:"title"`
+	Workers     int    `json:"workers"`
+	Tuples      int    `json:"tuples"`
+	Rounds      int    `json:"rounds"`
+	Answers     int    `json:"answers"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// perfCase is one measured workload.
+type perfCase struct {
+	id, title string
+	build     func(quick bool) (*core.DB, []program.Atom, core.Options, error)
+}
+
+func perfMeasure(cfg Config, c perfCase) (BenchRecord, error) {
+	db, goals, opts, err := c.build(cfg.Quick)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	if opts.Ctx == nil {
+		opts.Ctx = cfg.Ctx
+	}
+	opts.Workers = cfg.Workers
+	// One representative run for the evaluation-shape metrics.
+	res, err := db.Query(goals, opts)
+	if err != nil {
+		return BenchRecord{}, fmt.Errorf("%s: %w", c.id, err)
+	}
+	rec := BenchRecord{
+		Experiment: c.id, Title: c.title,
+		Workers: workersOf(cfg),
+		Tuples:  res.Metrics.DerivedTuples, Rounds: res.Metrics.Iterations,
+		Answers: len(res.Answers),
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(goals, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.NsPerOp = br.NsPerOp()
+	rec.AllocsPerOp = br.AllocsPerOp()
+	rec.BytesPerOp = br.AllocedBytesPerOp()
+	return rec, nil
+}
+
+func workersOf(cfg Config) int {
+	if cfg.Workers > 1 {
+		return cfg.Workers
+	}
+	return 1
+}
+
+// writeBenchJSON writes rec as JSONDir/BENCH_<ID>.json.
+func writeBenchJSON(dir string, rec BenchRecord) (string, error) {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rec.Experiment))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runPerfCase(cfg Config, e Experiment, c perfCase) error {
+	header(cfg.Out, e)
+	rec, err := perfMeasure(cfg, c)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.Out, "workers", "tuples", "rounds", "answers", "ns/op", "allocs/op", "B/op")
+	t.row(rec.Workers, rec.Tuples, rec.Rounds, rec.Answers, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp)
+	t.flush()
+	fmt.Fprintf(cfg.Out, "\nexpected shape: ns/op and allocs/op trend down revision-over-revision; compare against the committed BENCH_%s.baseline.json (answers and rounds must not change).\n", rec.Experiment)
+	if cfg.JSONDir != "" {
+		path, err := writeBenchJSON(cfg.JSONDir, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "\nwrote %s\n", path)
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:       "C2",
+		Title:    "perf: same-generation (sg) via chain-split magic sets",
+		PaperRef: "perf trajectory for Algorithm 3.1 workloads; BENCH_C2.json",
+		Run: func(cfg Config) error {
+			e, _ := Lookup("C2")
+			return runPerfCase(cfg, e, perfCase{
+				id: "C2", title: "same-generation (sg) via chain-split magic sets",
+				build: func(quick bool) (*core.DB, []program.Atom, core.Options, error) {
+					gens := 6
+					if quick {
+						gens = 4
+					}
+					fam := workload.Family(workload.FamilyConfig{Generations: gens, Fanout: 2, Roots: 1, Countries: 1, Seed: 1})
+					db, err := buildDB(workload.SGRules(), fam)
+					if err != nil {
+						return nil, nil, core.Options{}, err
+					}
+					goals, err := parseGoals(fmt.Sprintf("?- sg(%s, Y).", workload.PersonName(gens, 0)))
+					return db, goals, core.Options{Strategy: core.StrategyMagic}, err
+				},
+			})
+		},
+	})
+	register(Experiment{
+		ID:       "C3",
+		Title:    "perf: same-country-same-generation (scsg) via chain-split magic sets",
+		PaperRef: "perf trajectory for the split-recursion workload; BENCH_C3.json",
+		Run: func(cfg Config) error {
+			e, _ := Lookup("C3")
+			return runPerfCase(cfg, e, perfCase{
+				id: "C3", title: "same-country-same-generation (scsg) via chain-split magic sets",
+				build: func(quick bool) (*core.DB, []program.Atom, core.Options, error) {
+					gens := 5
+					if quick {
+						gens = 3
+					}
+					fam := workload.Family(workload.FamilyConfig{Generations: gens, Fanout: 2, Roots: 1, Countries: 1, Seed: 11})
+					db, err := buildDB(workload.SCSGRules(), fam)
+					if err != nil {
+						return nil, nil, core.Options{}, err
+					}
+					goals, err := parseGoals(fmt.Sprintf("?- scsg(%s, Y).", workload.PersonName(gens, 0)))
+					return db, goals, core.Options{Strategy: core.StrategyMagic}, err
+				},
+			})
+		},
+	})
+	register(Experiment{
+		ID:       "C4",
+		Title:    "perf: functional recursion (append/3) via buffered chain-split",
+		PaperRef: "perf trajectory for Algorithm 3.2 workloads; BENCH_C4.json",
+		Run: func(cfg Config) error {
+			e, _ := Lookup("C4")
+			return runPerfCase(cfg, e, perfCase{
+				id: "C4", title: "functional recursion: append/3 via buffered chain-split",
+				build: func(quick bool) (*core.DB, []program.Atom, core.Options, error) {
+					n := 400
+					if quick {
+						n = 60
+					}
+					vals := workload.RandomInts(n, 1000, 4)
+					db, err := buildDB(workload.AppendRules())
+					if err != nil {
+						return nil, nil, core.Options{}, err
+					}
+					goal := program.NewAtom("append", term.IntList(vals...), term.IntList(-1), term.NewVar("W"))
+					return db, []program.Atom{goal}, core.Options{}, nil
+				},
+			})
+		},
+	})
+}

@@ -36,6 +36,13 @@ type Config struct {
 	// Parallel is the client concurrency for the concurrent-serving
 	// experiment (benchtab -parallel; 0 = GOMAXPROCS, min 4).
 	Parallel int
+	// Workers is the per-query fixpoint parallelism for experiments
+	// that evaluate queries (benchtab -workers; 0 or 1 = serial).
+	Workers int
+	// JSONDir, when non-empty, makes the perf experiments (C2–C4)
+	// record their measurements as BENCH_<ID>.json files in that
+	// directory (benchtab -json).
+	JSONDir string
 }
 
 // parallel resolves the client concurrency.
@@ -116,6 +123,15 @@ func buildDB(rules string, facts ...*program.Program) (*core.DB, error) {
 		db.Load(f)
 	}
 	return db, nil
+}
+
+// parseGoals parses a query string into goal atoms.
+func parseGoals(query string) ([]program.Atom, error) {
+	parsed, err := lang.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return parsed.Goals, nil
 }
 
 // run executes one query under the run's context and returns the

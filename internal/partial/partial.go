@@ -213,10 +213,15 @@ func incrementNonNegative(rr chain.RecRule, sp chain.Split, incVar string, cat *
 func exitBaseNonNegative(comp *chain.Compiled, cat *relation.Catalog, pos int) bool {
 	// Ground facts of the predicate.
 	if rel := cat.Get(comp.Pred); rel != nil && rel.Arity() == comp.Arity {
-		for _, tup := range rel.Tuples() {
-			if iv, ok := tup[pos].(term.Int); ok && iv.V < 0 {
-				return false
+		ok := true
+		rel.Each(func(tup relation.Tuple) bool {
+			if iv, isInt := tup[pos].(term.Int); isInt && iv.V < 0 {
+				ok = false
 			}
+			return ok
+		})
+		if !ok {
+			return false
 		}
 	}
 	for _, er := range comp.ExitRules {
@@ -276,14 +281,20 @@ func columnMin(cat *relation.Catalog, pred string, arity, col int) int64 {
 		return -1
 	}
 	min := int64(1<<62 - 1)
-	for _, tup := range rel.Tuples() {
+	bad := false
+	rel.Each(func(tup relation.Tuple) bool {
 		iv, ok := tup[col].(term.Int)
 		if !ok {
-			return -1
+			bad = true
+			return false
 		}
 		if iv.V < min {
 			min = iv.V
 		}
+		return true
+	})
+	if bad {
+		return -1
 	}
 	return min
 }

@@ -7,6 +7,15 @@
 // repository is deterministic; indexes are maintained incrementally on
 // insert, so semi-naive iteration does not rebuild hash tables each
 // round.
+//
+// Storage is dictionary-encoded: tuple identity, the presence set and
+// every hash index key on the packed 8-byte-per-column dictionary
+// codes of the ground terms (see term.IDOf), not on allocated
+// canonical strings. Membership probes (Contains, LookupOn, Select,
+// Semijoin, Diff) are allocation-free: they pack codes into a
+// stack-side buffer and use Go's no-copy string conversion for the map
+// read, and a constant that was never interned short-circuits to "no
+// match" without touching the dictionary.
 package relation
 
 import (
@@ -22,7 +31,9 @@ import (
 // Tuple is an ordered list of ground terms.
 type Tuple []term.Term
 
-// Key returns the canonical encoding of the whole tuple.
+// Key returns the canonical string encoding of the whole tuple. It is
+// kept for diagnostics and cross-process stability; the storage hot
+// paths key on packed dictionary codes instead (see appendIDKey).
 func (t Tuple) Key() string {
 	var buf []byte
 	for _, v := range t {
@@ -31,7 +42,8 @@ func (t Tuple) Key() string {
 	return string(buf)
 }
 
-// KeyOn returns the canonical encoding of the projection onto cols.
+// KeyOn returns the canonical string encoding of the projection onto
+// cols. Like Key, it is off the hot path.
 func (t Tuple) KeyOn(cols []int) string {
 	var buf []byte
 	for _, c := range cols {
@@ -39,6 +51,56 @@ func (t Tuple) KeyOn(cols []int) string {
 	}
 	return string(buf)
 }
+
+// appendIDKey appends the packed dictionary codes of every column,
+// interning terms on first sight. ok is false if any column is not
+// ground (such a tuple can never be stored).
+func appendIDKey(dst []byte, t Tuple) ([]byte, bool) {
+	for _, v := range t {
+		id, ok := term.IDOf(v)
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst,
+			byte(id>>56), byte(id>>48), byte(id>>40), byte(id>>32),
+			byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return dst, true
+}
+
+// appendIDKeyOn is appendIDKey restricted to cols.
+func appendIDKeyOn(dst []byte, t Tuple, cols []int) ([]byte, bool) {
+	for _, c := range cols {
+		id, ok := term.IDOf(t[c])
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst,
+			byte(id>>56), byte(id>>48), byte(id>>40), byte(id>>32),
+			byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return dst, true
+}
+
+// appendProbeKey packs dictionary codes without interning: ok is false
+// if any column is non-ground or was never interned — in which case no
+// stored tuple can match, so callers report absence immediately.
+func appendProbeKey(dst []byte, t Tuple) ([]byte, bool) {
+	for _, v := range t {
+		id, ok := term.ProbeID(v)
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst,
+			byte(id>>56), byte(id>>48), byte(id>>40), byte(id>>32),
+			byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return dst, true
+}
+
+// keyBufSize is the stack-side packing buffer: 8 bytes per column
+// covers arity ≤ 16 without spilling to the heap.
+const keyBufSize = 128
 
 // Ground reports whether every component is ground.
 func (t Tuple) Ground() bool {
@@ -71,10 +133,11 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// colIndex is a hash index on a fixed column list.
+// colIndex is a hash index on a fixed column list, keyed on packed
+// dictionary codes of the projection.
 type colIndex struct {
 	cols    []int
-	buckets map[string][]int // projection key → tuple positions
+	buckets map[string][]int // packed projection codes → tuple positions
 }
 
 func colsKey(cols []int) string {
@@ -95,11 +158,16 @@ func colsKey(cols []int) string {
 // mutation is lazy index construction, which idxMu serializes — and
 // Insert panics. Catalog.Snapshot freezes every relation it shares,
 // which is what makes copy-on-write database generations safe.
+//
+// Concurrent reads are also safe on an unfrozen relation during any
+// window in which no goroutine mutates it; the parallel semi-naive
+// rounds rely on this (workers only read shared relations mid-round
+// and write to worker-private staging relations).
 type Relation struct {
 	name    string
 	arity   int
 	tuples  []Tuple
-	present map[string]bool
+	present map[string]struct{}
 
 	// frozen marks the relation immutable (shared between snapshots).
 	frozen atomic.Bool
@@ -114,7 +182,7 @@ func New(name string, arity int) *Relation {
 	return &Relation{
 		name:    name,
 		arity:   arity,
-		present: make(map[string]bool),
+		present: make(map[string]struct{}),
 		indexes: make(map[string]*colIndex),
 	}
 }
@@ -146,19 +214,21 @@ func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation %s/%d: inserting tuple of width %d", r.name, r.arity, len(t)))
 	}
-	if !t.Ground() {
+	var kb [keyBufSize]byte
+	k, ok := appendIDKey(kb[:0], t)
+	if !ok {
 		panic(fmt.Sprintf("relation %s: inserting non-ground tuple %s", r.name, t))
 	}
-	k := t.Key()
-	if r.present[k] {
+	if _, dup := r.present[string(k)]; dup {
 		return false
 	}
-	r.present[k] = true
+	r.present[string(k)] = struct{}{}
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t)
+	var pb [keyBufSize]byte
 	for _, idx := range r.indexes {
-		pk := t.KeyOn(idx.cols)
-		idx.buckets[pk] = append(idx.buckets[pk], pos)
+		pk, _ := appendIDKeyOn(pb[:0], t, idx.cols)
+		idx.buckets[string(pk)] = append(idx.buckets[string(pk)], pos)
 	}
 	return true
 }
@@ -175,12 +245,39 @@ func (r *Relation) InsertAll(o *Relation) int {
 	return n
 }
 
-// Contains reports whether the tuple is present.
-func (r *Relation) Contains(t Tuple) bool { return r.present[t.Key()] }
+// Contains reports whether the tuple is present. It is allocation-free.
+func (r *Relation) Contains(t Tuple) bool {
+	var kb [keyBufSize]byte
+	k, ok := appendProbeKey(kb[:0], t)
+	if !ok {
+		return false
+	}
+	_, present := r.present[string(k)]
+	return present
+}
 
-// Tuples returns the underlying tuple slice in insertion order. Callers
-// must not modify it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Tuples returns the tuples in insertion order. On a frozen relation
+// it returns the internal slice (immutable by contract); on a live
+// relation it returns a copy, so writes through the returned slice can
+// never desynchronize the presence set or the indexes. Use Each or
+// Len/At for allocation-free iteration.
+func (r *Relation) Tuples() []Tuple {
+	if r.frozen.Load() {
+		return r.tuples
+	}
+	return append([]Tuple(nil), r.tuples...)
+}
+
+// Each calls f on every tuple in insertion order without copying the
+// tuple slice; it stops early when f returns false. The relation must
+// not be mutated during the iteration.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
 
 // At returns the i-th tuple in insertion order.
 func (r *Relation) At(i int) Tuple { return r.tuples[i] }
@@ -199,9 +296,10 @@ func (r *Relation) index(cols []int) *colIndex {
 		return idx
 	}
 	idx = &colIndex{cols: append([]int(nil), cols...), buckets: make(map[string][]int)}
+	var pb [keyBufSize]byte
 	for pos, t := range r.tuples {
-		pk := t.KeyOn(cols)
-		idx.buckets[pk] = append(idx.buckets[pk], pos)
+		pk, _ := appendIDKeyOn(pb[:0], t, cols)
+		idx.buckets[string(pk)] = append(idx.buckets[string(pk)], pos)
 	}
 	r.idxMu.Lock()
 	if existing, ok := r.indexes[ck]; ok {
@@ -214,14 +312,16 @@ func (r *Relation) index(cols []int) *colIndex {
 }
 
 // LookupOn returns the tuples whose projection onto cols equals the
-// given values, using (and caching) a hash index.
+// given values, using (and caching) a hash index. The probe itself is
+// allocation-free apart from the result slice.
 func (r *Relation) LookupOn(cols []int, values Tuple) []Tuple {
 	idx := r.index(cols)
-	var buf []byte
-	for _, v := range values {
-		buf = term.AppendKey(buf, v)
+	var kb [keyBufSize]byte
+	k, ok := appendProbeKey(kb[:0], values)
+	if !ok {
+		return nil // a never-interned constant matches nothing
 	}
-	positions := idx.buckets[string(buf)]
+	positions := idx.buckets[string(k)]
 	if len(positions) == 0 {
 		return nil
 	}
@@ -232,8 +332,27 @@ func (r *Relation) LookupOn(cols []int, values Tuple) []Tuple {
 	return out
 }
 
-// DistinctOn returns the number of distinct projections onto cols.
-func (r *Relation) DistinctOn(cols []int) int { return len(r.index(cols).buckets) }
+// DistinctOn returns the number of distinct projections onto cols. It
+// reuses an existing index when one is already built; otherwise it
+// counts through a transient set instead of building (and permanently
+// retaining) a full hash index for a one-shot aggregate.
+func (r *Relation) DistinctOn(cols []int) int {
+	r.idxMu.RLock()
+	idx, ok := r.indexes[colsKey(cols)]
+	r.idxMu.RUnlock()
+	if ok {
+		return len(idx.buckets)
+	}
+	seen := make(map[string]struct{}, len(r.tuples))
+	var pb [keyBufSize]byte
+	for _, t := range r.tuples {
+		pk, _ := appendIDKeyOn(pb[:0], t, cols)
+		if _, dup := seen[string(pk)]; !dup {
+			seen[string(pk)] = struct{}{}
+		}
+	}
+	return len(seen)
+}
 
 // Clone returns an independent, unfrozen copy of the relation that the
 // caller may mutate freely.
@@ -248,8 +367,9 @@ func (r *Relation) DistinctOn(cols []int) int { return len(r.index(cols).buckets
 func (r *Relation) Clone() *Relation {
 	c := New(r.name, r.arity)
 	c.tuples = append(make([]Tuple, 0, len(r.tuples)), r.tuples...)
+	c.present = make(map[string]struct{}, len(r.present))
 	for k := range r.present {
-		c.present[k] = true
+		c.present[k] = struct{}{}
 	}
 	return c
 }
@@ -294,16 +414,15 @@ func (r *Relation) Project(name string, cols []int) *Relation {
 }
 
 // Join hash-joins r and o on r.leftCols = o.rightCols and returns the
-// concatenated tuples (r's columns then o's columns). o is the build
-// side when smaller.
+// concatenated tuples (r's columns then o's columns), probing o's
+// index with each tuple of r.
 func (r *Relation) Join(name string, o *Relation, leftCols, rightCols []int) *Relation {
 	out := New(name, r.arity+o.arity)
 	if len(leftCols) != len(rightCols) {
 		panic("relation: join column lists differ in length")
 	}
-	// Probe the smaller side's index.
+	values := make(Tuple, len(leftCols))
 	for _, lt := range r.tuples {
-		values := make(Tuple, len(leftCols))
 		for i, c := range leftCols {
 			values[i] = lt[c]
 		}
@@ -322,12 +441,13 @@ func (r *Relation) Join(name string, o *Relation, leftCols, rightCols []int) *Re
 func (r *Relation) Semijoin(o *Relation, leftCols, rightCols []int) *Relation {
 	out := New(r.name, r.arity)
 	idx := o.index(rightCols)
+	var kb [keyBufSize]byte
 	for _, lt := range r.tuples {
-		var buf []byte
-		for _, c := range leftCols {
-			buf = term.AppendKey(buf, lt[c])
+		k, ok := appendIDKeyOn(kb[:0], lt, leftCols)
+		if !ok {
+			continue
 		}
-		if len(idx.buckets[string(buf)]) > 0 {
+		if len(idx.buckets[string(k)]) > 0 {
 			out.Insert(lt)
 		}
 	}

@@ -1,0 +1,109 @@
+package relation
+
+// Regression tests for the dictionary-encoded storage layer: the
+// Tuples() aliasing footgun and DistinctOn's one-shot index retention.
+
+import (
+	"testing"
+
+	"chainsplit/internal/term"
+)
+
+func tup2(a, b string) Tuple {
+	return Tuple{term.NewSym(a), term.NewSym(b)}
+}
+
+// TestTuplesNoAliasing: mutating the slice returned by Tuples() on a
+// live relation must not corrupt the relation's contents or indexes.
+func TestTuplesNoAliasing(t *testing.T) {
+	r := New("p", 2)
+	r.Insert(tup2("a", "b"))
+	r.Insert(tup2("c", "d"))
+	// Build an index so corruption would be observable through it too.
+	if got := r.LookupOn([]int{0}, Tuple{term.NewSym("a")}); len(got) != 1 {
+		t.Fatalf("lookup a = %d tuples, want 1", len(got))
+	}
+
+	out := r.Tuples()
+	out[0] = tup2("x", "y") // would corrupt position 0 if aliased
+
+	if !r.Contains(tup2("a", "b")) {
+		t.Fatal("mutation through Tuples() result removed a stored tuple")
+	}
+	if r.Contains(tup2("x", "y")) {
+		t.Fatal("mutation through Tuples() result injected a tuple")
+	}
+	got := r.LookupOn([]int{0}, Tuple{term.NewSym("a")})
+	if len(got) != 1 || !got[0].Equal(tup2("a", "b")) {
+		t.Fatalf("index corrupted after external mutation: %v", got)
+	}
+	if !r.At(0).Equal(tup2("a", "b")) {
+		t.Fatalf("At(0) = %v, want (a, b)", r.At(0))
+	}
+}
+
+// TestTuplesFrozenShared: a frozen relation may hand out its internal
+// slice (it is immutable by contract) — this pins the zero-copy fast
+// path so it is not accidentally dropped.
+func TestTuplesFrozenShared(t *testing.T) {
+	r := New("p", 2)
+	r.Insert(tup2("a", "b"))
+	r.Freeze()
+	s1 := r.Tuples()
+	s2 := r.Tuples()
+	if len(s1) != 1 || len(s2) != 1 {
+		t.Fatalf("Tuples() = %d/%d tuples, want 1", len(s1), len(s2))
+	}
+	if &s1[0] != &s2[0] {
+		t.Fatal("frozen Tuples() copied; want the shared internal slice")
+	}
+}
+
+// TestDistinctOnNoIndexRetention: counting distinct projections on a
+// relation with no prebuilt index must not build (and retain) one.
+func TestDistinctOnNoIndexRetention(t *testing.T) {
+	r := New("p", 2)
+	r.Insert(tup2("a", "b"))
+	r.Insert(tup2("a", "c"))
+	r.Insert(tup2("d", "b"))
+
+	if n := r.DistinctOn([]int{0}); n != 2 {
+		t.Fatalf("DistinctOn(0) = %d, want 2", n)
+	}
+	if n := r.DistinctOn([]int{1}); n != 2 {
+		t.Fatalf("DistinctOn(1) = %d, want 2", n)
+	}
+	if len(r.indexes) != 0 {
+		t.Fatalf("DistinctOn retained %d indexes, want 0", len(r.indexes))
+	}
+
+	// With an index already built, DistinctOn reuses it.
+	r.LookupOn([]int{0}, Tuple{term.NewSym("a")})
+	if len(r.indexes) != 1 {
+		t.Fatalf("LookupOn built %d indexes, want 1", len(r.indexes))
+	}
+	if n := r.DistinctOn([]int{0}); n != 2 {
+		t.Fatalf("DistinctOn(0) with index = %d, want 2", n)
+	}
+	if len(r.indexes) != 1 {
+		t.Fatalf("DistinctOn grew the index map to %d", len(r.indexes))
+	}
+}
+
+// TestContainsNeverInterned: membership probes with constants the
+// process has never seen must report absence (and, per ProbeID's
+// contract, must not grow the dictionary).
+func TestContainsNeverInterned(t *testing.T) {
+	r := New("p", 2)
+	r.Insert(tup2("a", "b"))
+	before := term.DictStats()
+	if r.Contains(Tuple{term.NewSym("zz-never-seen-1"), term.NewSym("zz-never-seen-2")}) {
+		t.Fatal("Contains reported a never-interned tuple present")
+	}
+	if got := r.LookupOn([]int{0}, Tuple{term.NewSym("zz-never-seen-3")}); got != nil {
+		t.Fatalf("LookupOn(never-interned) = %v, want nil", got)
+	}
+	if after := term.DictStats(); after != before {
+		t.Fatalf("probing grew the dictionary: %+v -> %+v", before, after)
+	}
+}

@@ -1,0 +1,194 @@
+package seminaive
+
+// Engine-level determinism of parallel rounds: for every worker count,
+// derived relations must match serial evaluation tuple-for-tuple in
+// insertion order, and Stats must be identical. Run with -race to
+// check the worker pool itself.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"chainsplit/internal/builtin"
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/term"
+)
+
+// mutualSrc has a multi-rule, multi-predicate SCC so one round carries
+// several work items — the case parallel rounds actually fan out.
+const mutualSrc = `
+even(z).
+even(s(X)) :- odd(X).
+odd(s(X)) :- even(X).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+edge(a, b). edge(b, c). edge(c, d). edge(d, a). edge(b, e).
+`
+
+func evalWorkers(t *testing.T, src string, opts Options) (*relation.Catalog, *Stats, error) {
+	t.Helper()
+	res, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := program.Rectify(res.Program)
+	cat := relation.NewCatalog()
+	stats, evalErr := Eval(p, cat, opts)
+	return cat, stats, evalErr
+}
+
+// requireSameCatalog asserts got matches want relation-for-relation,
+// including insertion order.
+func requireSameCatalog(t *testing.T, label string, want, got *relation.Catalog) {
+	t.Helper()
+	wn, gn := want.Names(), got.Names()
+	if fmt.Sprint(wn) != fmt.Sprint(gn) {
+		t.Fatalf("%s: relation names differ: %v vs %v", label, wn, gn)
+	}
+	for _, name := range wn {
+		wr, gr := want.Get(name), got.Get(name)
+		if wr.Len() != gr.Len() {
+			t.Fatalf("%s: %s has %d tuples, serial has %d", label, name, gr.Len(), wr.Len())
+		}
+		for i := 0; i < wr.Len(); i++ {
+			if !wr.At(i).Equal(gr.At(i)) {
+				t.Fatalf("%s: %s insertion order diverges at %d: %v vs %v",
+					label, name, i, gr.At(i), wr.At(i))
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, src := range []string{mutualSrc, `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(a, b). e(b, c). e(c, d). e(d, e).
+`} {
+		serialCat, serialStats, err := evalWorkers(t, src, Options{MaxIterations: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			cat, stats, err := evalWorkers(t, src, Options{MaxIterations: 100, Workers: w})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			label := fmt.Sprintf("workers=%d", w)
+			requireSameCatalog(t, label, serialCat, cat)
+			if stats.Iterations != serialStats.Iterations ||
+				stats.DerivedTuples != serialStats.DerivedTuples ||
+				stats.Matches != serialStats.Matches {
+				t.Fatalf("%s: stats = %+v, serial %+v", label, *stats, *serialStats)
+			}
+		}
+	}
+}
+
+func TestParallelTraceDeltasMatch(t *testing.T) {
+	serial, serialStats, err := evalWorkers(t, mutualSrc, Options{MaxIterations: 100, TraceDeltas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, stats, err := evalWorkers(t, mutualSrc, Options{MaxIterations: 100, TraceDeltas: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameCatalog(t, "trace workers=4", serial, cat)
+	if fmt.Sprint(stats.Deltas) != fmt.Sprint(serialStats.Deltas) {
+		t.Fatalf("delta traces differ:\n%v\nvs\n%v", stats.Deltas, serialStats.Deltas)
+	}
+}
+
+func TestParallelBudgetError(t *testing.T) {
+	src := `
+tc(X, Y) :- e(X, Y).
+tc(X, Y) :- e(X, Z), tc(Z, Y).
+e(a, b). e(b, c). e(c, d). e(d, e). e(e, a).
+`
+	for _, w := range []int{1, 2, 8} {
+		_, _, err := evalWorkers(t, src, Options{MaxTuples: 3, Workers: w})
+		if !errors.Is(err, everr.ErrBudget) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudget", w, err)
+		}
+	}
+}
+
+func TestParallelCancellation(t *testing.T) {
+	// Cancel mid-evaluation via the fault-injection hook at the round
+	// boundary: every worker count must surface ErrCanceled.
+	for _, w := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		restore := faultinject.Set(faultinject.SiteSeminaiveIterate, func() error {
+			cancel() // cancel *during* evaluation, then let the round run
+			return nil
+		})
+		_, _, err := evalWorkers(t, mutualSrc, Options{MaxIterations: 100, Ctx: ctx, Workers: w})
+		restore()
+		cancel()
+		if !errors.Is(err, everr.ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", w, err)
+		}
+	}
+}
+
+func TestParallelFaultInjection(t *testing.T) {
+	// An injected round error must surface identically for every worker
+	// count, with no partial merge of that round.
+	for _, w := range []int{1, 2, 8} {
+		calls := 0
+		restore := faultinject.Set(faultinject.SiteSeminaiveIterate, func() error {
+			calls++
+			if calls >= 2 {
+				return errors.New("injected round fault")
+			}
+			return nil
+		})
+		_, stats, err := evalWorkers(t, mutualSrc, Options{MaxIterations: 100, Workers: w})
+		restore()
+		if err == nil || err.Error() != "injected round fault" {
+			t.Fatalf("workers=%d: err = %v, want injected round fault", w, err)
+		}
+		if stats.Iterations != 1 {
+			t.Fatalf("workers=%d: iterations = %d, want 1", w, stats.Iterations)
+		}
+	}
+}
+
+func TestParallelPanicContained(t *testing.T) {
+	// A panic inside a worker goroutine (a user-registered builtin is
+	// the realistic source) must come back as a typed ErrPanic error
+	// from the engine, not crash the process — a worker goroutine is
+	// beyond the reach of the public API's recover.
+	if err := builtin.Register(&builtin.Builtin{
+		Name: "panicb", Arity: 1, FiniteModes: []string{"b"},
+		Eval: func(s term.Subst, args []term.Term) ([]term.Subst, error) {
+			panic("panicb: deliberate test panic")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+p(X, Y) :- p(X, Z), e(Z, Y), panicb(X).
+e(a, b). e(b, c). e(c, d).
+`
+	for _, w := range []int{2, 8} {
+		_, _, err := evalWorkers(t, src, Options{MaxIterations: 100, Workers: w})
+		if !errors.Is(err, everr.ErrPanic) {
+			t.Fatalf("workers=%d: err = %v, want ErrPanic", w, err)
+		}
+		var ee *everr.EvalError
+		if !errors.As(err, &ee) || ee.PanicVal == nil {
+			t.Fatalf("workers=%d: err = %#v, want *EvalError with PanicVal", w, err)
+		}
+	}
+}

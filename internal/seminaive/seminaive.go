@@ -14,7 +14,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"sync"
 
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/everr"
@@ -55,6 +57,14 @@ type Options struct {
 	// recursions in the same program — including divergent ones — are
 	// not evaluated. Empty evaluates the whole program.
 	Goal string
+	// Workers bounds the goroutines evaluating one fixpoint round's
+	// (rule × delta-occurrence) work items (0 or 1 = serial). Parallel
+	// rounds are bit-identical to serial evaluation: workers write to
+	// per-item staging relations that are merged in fixed item order,
+	// so derived tuples, insertion order, and Stats all agree with
+	// Workers=1 — see docs/performance.md for the argument. Registered
+	// builtins must be safe for concurrent calls when Workers > 1.
+	Workers int
 }
 
 func (o Options) maxIterations() int {
@@ -241,21 +251,14 @@ func (e *Engine) runSCC(scc []string) error {
 		newDelta(k)
 	}
 
-	insert := func(head program.Atom, s term.Subst, into map[string]*relation.Relation) error {
-		args := s.ResolveAll(head.Args)
-		tup := relation.Tuple(args)
-		if !tup.Ground() {
-			return fmt.Errorf("%w: head %s not ground in %s", ErrUnsafe, head.Resolve(s), head)
-		}
-		full := e.cat.Ensure(relName(head.Pred), head.Arity())
-		if full.Contains(tup) {
-			return nil
-		}
-		d := into[head.Key()]
-		if d.Insert(tup) {
-			// counted on merge
-		}
-		return nil
+	// Resolve every head relation once, before any round runs. This is
+	// where copy-on-write happens for snapshot-shared relations, so
+	// that workers never touch the catalog concurrently mid-round and
+	// the `full` pointer each work item reads stays stable.
+	headRels := make(map[string]*relation.Relation, len(scc))
+	for _, k := range scc {
+		pred, ar := splitKey(k)
+		headRels[k] = e.cat.Ensure(relName(pred), ar)
 	}
 
 	// Round 0: exit rules against full relations.
@@ -264,14 +267,12 @@ func (e *Engine) runSCC(scc []string) error {
 		pred, ar := splitKey(k)
 		next[k] = relation.New(pred, ar)
 	}
+	items := make([]workItem, 0, len(exitIdx))
 	for _, i := range exitIdx {
-		r := rules[i]
-		err := e.evalRule(r, scheds[i], func(s term.Subst) error {
-			return insert(r.Head, s, next)
-		})
-		if err != nil {
-			return err
-		}
+		items = append(items, workItem{rule: i, deltaLit: -1})
+	}
+	if err := e.runItems(rules, scheds, items, nil, headRels, next); err != nil {
+		return err
 	}
 	merge := func(next map[string]*relation.Relation, iter int) (int, error) {
 		total := 0
@@ -286,8 +287,7 @@ func (e *Engine) runSCC(scc []string) error {
 		sort.Strings(keys)
 		for _, k := range keys {
 			d := next[k]
-			full := e.cat.Ensure(relName(d.Name()), d.Arity())
-			n := full.InsertAll(d)
+			n := headRels[k].InsertAll(d)
 			total += n
 			e.stats.DerivedTuples += n
 			deltas[k] = d
@@ -314,10 +314,7 @@ func (e *Engine) runSCC(scc []string) error {
 	// The initial delta is everything known for the SCC predicates so
 	// far: pre-existing facts plus the exit-round derivations.
 	for _, k := range scc {
-		pred, ar := splitKey(k)
-		if full := e.cat.Get(relName(pred)); full != nil && full.Arity() == ar {
-			deltas[k].InsertAll(full)
-		}
+		deltas[k].InsertAll(headRels[k])
 	}
 
 	// Semi-naive rounds.
@@ -337,37 +334,159 @@ func (e *Engine) runSCC(scc []string) error {
 			pred, ar := splitKey(k)
 			next[k] = relation.New(pred, ar)
 		}
-		derivedAny := false
+		// One work item per (recursive rule × same-SCC body occurrence),
+		// with that occurrence reading the delta relation.
+		items = items[:0]
 		for _, i := range recIdx {
-			r := rules[i]
-			// One evaluation pass per same-SCC body literal, with that
-			// occurrence reading the delta relation.
-			for li, b := range r.Body {
+			for li, b := range rules[i].Body {
 				if b.IsBuiltin() || !inSCC[b.Key()] {
 					continue
 				}
 				if deltas[b.Key()].Len() == 0 {
 					continue
 				}
-				err := e.evalRuleDelta(r, scheds[i], deltas, li, func(s term.Subst) error {
-					return insert(r.Head, s, next)
-				})
-				if err != nil {
-					return err
-				}
+				items = append(items, workItem{rule: i, deltaLit: li})
 			}
+		}
+		if err := e.runItems(rules, scheds, items, deltas, headRels, next); err != nil {
+			return err
 		}
 		n, err := merge(next, iter)
 		if err != nil {
 			return err
 		}
-		if n > 0 {
-			derivedAny = true
-		}
-		if !derivedAny {
+		if n == 0 {
 			return nil
 		}
 	}
+}
+
+// workItem is one unit of round work: evaluate rule `rule` with body
+// occurrence `deltaLit` reading the delta relation (-1 in the exit
+// round, where every literal reads the full relation).
+type workItem struct {
+	rule     int
+	deltaLit int
+}
+
+// derive resolves the rule head under s and stages the tuple into dst
+// unless the full relation already holds it.
+func derive(head program.Atom, s term.Subst, full, dst *relation.Relation) error {
+	args := s.ResolveAll(head.Args)
+	tup := relation.Tuple(args)
+	if !tup.Ground() {
+		return fmt.Errorf("%w: head %s not ground in %s", ErrUnsafe, head.Resolve(s), head)
+	}
+	if full.Contains(tup) {
+		return nil
+	}
+	dst.Insert(tup)
+	return nil
+}
+
+// runItems evaluates one round's work items into the staging map next,
+// serially or fanned across a bounded worker pool.
+//
+// The parallel path is observably identical to the serial one:
+//
+//   - Reads are race-free. During a round the full relations, the
+//     deltas, and the catalog are all stable — derivations go to
+//     staging relations, and head relations were pre-resolved — so
+//     workers share them read-only (lazy index builds synchronize
+//     internally).
+//   - Each item stages into a private relation, and item k's head
+//     predicate and enumeration order don't depend on its siblings, so
+//     staging contents match what item k contributed serially.
+//     Merging the stagings into next in item order then reproduces the
+//     serial insertion order exactly (Insert dedups across items just
+//     as it did when they shared next).
+//   - Errors are deterministic: every item runs to completion (or to
+//     its own failure — siblings are not cancelled), and the
+//     lowest-index failure is returned, which is the error serial
+//     evaluation would have hit first. Matches are accumulated in item
+//     order up to that failure, so Stats agree too.
+//
+// Worker panics are contained as *everr.EvalError wrapping
+// everr.ErrPanic rather than crashing the process from a goroutine the
+// public API's recover can't see.
+func (e *Engine) runItems(rules []program.Rule, scheds [][]int, items []workItem, deltas map[string]*relation.Relation, headRels, next map[string]*relation.Relation) error {
+	workers := e.opts.Workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, it := range items {
+			r := rules[it.rule]
+			full := headRels[r.Head.Key()]
+			dst := next[r.Head.Key()]
+			err := e.eval(r, scheds[it.rule], deltas, it.deltaLit, &e.stats.Matches, func(s term.Subst) error {
+				return derive(r.Head, s, full, dst)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	staging := make([]*relation.Relation, len(items))
+	matches := make([]int64, len(items))
+	errs := make([]error, len(items))
+	idxCh := make(chan int, len(items))
+	for k := range items {
+		idxCh <- k
+	}
+	close(idxCh)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idxCh {
+				e.runItem(rules, scheds, items, deltas, headRels, k, staging, matches, errs)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic aggregation: walk items in order, first failure
+	// wins. Only work serial evaluation would also have performed is
+	// accounted (later items did run, but their matches and stagings
+	// are discarded), so Stats and contents agree with Workers=1.
+	for k := range items {
+		e.stats.Matches += matches[k]
+		if errs[k] != nil {
+			return errs[k]
+		}
+		next[rules[items[k].rule].Head.Key()].InsertAll(staging[k])
+	}
+	return nil
+}
+
+// runItem evaluates one work item into its private staging relation,
+// containing panics from rule bodies (user-registered builtins may
+// misbehave) so they surface as typed errors instead of killing the
+// process.
+func (e *Engine) runItem(rules []program.Rule, scheds [][]int, items []workItem, deltas map[string]*relation.Relation, headRels map[string]*relation.Relation, k int, staging []*relation.Relation, matches []int64, errs []error) {
+	r := rules[items[k].rule]
+	defer func() {
+		if v := recover(); v != nil {
+			errs[k] = &everr.EvalError{
+				Strategy:  "seminaive",
+				Pred:      r.Head.Key(),
+				Iteration: e.stats.Iterations,
+				PanicVal:  v,
+				Stack:     string(debug.Stack()),
+				Err:       everr.ErrPanic,
+			}
+		}
+	}()
+	full := headRels[r.Head.Key()]
+	dst := relation.New(full.Name(), full.Arity())
+	staging[k] = dst
+	errs[k] = e.eval(r, scheds[items[k].rule], deltas, items[k].deltaLit, &matches[k], func(s term.Subst) error {
+		return derive(r.Head, s, full, dst)
+	})
 }
 
 func splitKey(key string) (string, int) {
@@ -452,19 +571,12 @@ func allB(n int) string {
 	return string(buf)
 }
 
-// evalRule enumerates all substitutions satisfying the body (in the
-// given order) against the full catalog and calls emit for each.
-func (e *Engine) evalRule(r program.Rule, order []int, emit func(term.Subst) error) error {
-	return e.eval(r, order, nil, -1, emit)
-}
-
-// evalRuleDelta is evalRule with body occurrence deltaLit reading from
-// the delta relation instead of the full one.
-func (e *Engine) evalRuleDelta(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, emit func(term.Subst) error) error {
-	return e.eval(r, order, deltas, deltaLit, emit)
-}
-
-func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, emit func(term.Subst) error) error {
+// eval enumerates all substitutions satisfying the body (in the given
+// order) and calls emit for each; body occurrence deltaLit (if >= 0)
+// reads from the delta relation instead of the full one. Match counts
+// go through the caller-supplied counter so concurrent work items
+// never share one — the serial path passes &e.stats.Matches directly.
+func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, matches *int64, emit func(term.Subst) error) error {
 	// No renaming needed: every evaluation starts from an empty
 	// substitution and variables are scoped to this one rule.
 	rr := r
@@ -521,17 +633,11 @@ func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.R
 				vals = append(vals, ra)
 			}
 		}
-		var candidates []relation.Tuple
-		if len(cols) > 0 {
-			candidates = rel.LookupOn(cols, vals)
-		} else {
-			candidates = rel.Tuples()
-		}
-		for _, tup := range candidates {
-			e.stats.Matches++
+		match := func(tup relation.Tuple) error {
+			*matches++
 			// A single fixpoint round can enumerate a huge join; keep
 			// cancellation latency bounded inside the round too.
-			if e.stats.Matches&8191 == 0 {
+			if *matches&8191 == 0 {
 				if err := everr.Check(e.opts.Ctx); err != nil {
 					return err
 				}
@@ -554,13 +660,26 @@ func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.R
 				}
 			}
 			if !ok {
-				continue
+				return nil
 			}
-			if err := rec(step+1, sol); err != nil {
-				return err
-			}
+			return rec(step+1, sol)
 		}
-		return nil
+		if len(cols) > 0 {
+			for _, tup := range rel.LookupOn(cols, vals) {
+				if err := match(tup); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Full scan: iterate in place instead of copying the tuple
+		// slice out of a live relation.
+		var scanErr error
+		rel.Each(func(tup relation.Tuple) bool {
+			scanErr = match(tup)
+			return scanErr == nil
+		})
+		return scanErr
 	}
 	return rec(0, term.NewSubst())
 }

@@ -173,6 +173,9 @@ type Comp struct {
 	Functor string
 	Args    []Term
 	ground  bool
+	// id caches the dictionary code of a ground compound, computed at
+	// construction (see intern.go). 0 = non-ground / not computed.
+	id ID
 }
 
 // ConsFunctor is the functor of list cells; [H|T] is '.'(H, T).
@@ -196,7 +199,14 @@ func NewComp(functor string, args ...Term) Comp {
 	}
 	cp := make([]Term, len(args))
 	copy(cp, args)
-	return Comp{Functor: functor, Args: cp, ground: g}
+	c := Comp{Functor: functor, Args: cp, ground: g}
+	if g {
+		// Hash-cons ground compounds: interning here makes every later
+		// identity operation (tuple keys, index probes, Contains) a
+		// field read instead of a canonical-string build.
+		c.id = internComp(&c)
+	}
+	return c
 }
 
 // Cons returns the list cell [head|tail].

@@ -367,7 +367,12 @@ func (e *Engine) matchRelation(rel *relation.Relation, g program.Atom, s term.Su
 	if len(cols) > 0 {
 		candidates = rel.LookupOn(cols, vals)
 	} else {
-		candidates = rel.Tuples()
+		// Full scan without copying the tuple slice out of the relation.
+		candidates = make([]relation.Tuple, 0, rel.Len())
+		rel.Each(func(tup relation.Tuple) bool {
+			candidates = append(candidates, tup)
+			return true
+		})
 	}
 	var out []term.Subst
 	for _, tup := range candidates {
