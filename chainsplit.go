@@ -62,6 +62,7 @@ import (
 	"chainsplit/internal/cost"
 	"chainsplit/internal/everr"
 	"chainsplit/internal/lang"
+	"chainsplit/internal/obsv"
 	"chainsplit/internal/program"
 	"chainsplit/internal/retry"
 	"chainsplit/internal/term"
@@ -143,9 +144,15 @@ func WithTimeout(d time.Duration) Option {
 }
 
 // WithTrace records per-iteration (bottom-up) or per-level (buffered)
-// profiles in the result metrics.
+// profiles in the result metrics, and enables the structured trace:
+// typed phase events (plan/compile/round/merge/level) in
+// Metrics.TraceEvents, with their string form appended to
+// Metrics.Events. Queries without WithTrace pay nothing for tracing.
 func WithTrace() Option {
-	return func(q *queryConfig) { q.opts.TraceDeltas = true }
+	return func(q *queryConfig) {
+		q.opts.TraceDeltas = true
+		q.opts.Trace = true
+	}
 }
 
 // WithLimit truncates the answer set to the first n answers; n = 1
@@ -198,7 +205,9 @@ type Result struct {
 	Strategy Strategy
 	// Metrics reports evaluation effort.
 	Metrics Metrics
-	// Duration is the wall-clock evaluation time.
+	// Duration is the end-to-end wall-clock time of the call: admission
+	// waits, failed attempts and retry backoff included. The final
+	// attempt's evaluation time alone is Metrics.Duration.
 	Duration time.Duration
 }
 
@@ -351,6 +360,8 @@ func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *R
 		return nil, err
 	}
 	qc.opts.Ctx = ctx
+	obsv.Queries.Inc()
+	start := time.Now()
 	var out *Result
 	retries, err := qc.retry.Do(ctx, func() error {
 		r, qerr := db.queryOnce(ctx, goals, qc.opts)
@@ -359,10 +370,16 @@ func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *R
 		}
 		return qerr
 	})
+	obsv.Retries.Add(int64(retries))
 	if err != nil {
+		obsv.QueryErrors.Inc()
 		return nil, err
 	}
 	out.Metrics.Retries = retries
+	// End-to-end wall clock: every attempt, admission wait and retry
+	// backoff included — not just the final attempt's evaluation time
+	// (which is Metrics.Duration).
+	out.Duration = time.Since(start)
 	return out, nil
 }
 
@@ -384,13 +401,19 @@ func (db *DB) queryOnce(ctx context.Context, goals []program.Atom, opts core.Opt
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{
-		Vars:     inner.Vars,
-		Tuples:   inner.Answers,
-		Metrics:  inner.Metrics,
-		Duration: inner.Metrics.Duration,
-	}
+	out := convertResult(inner)
 	out.Metrics.AdmissionWait = wait
+	return out, nil
+}
+
+// convertResult projects a core result into the public shape. Duration
+// is left zero: the caller owns the end-to-end clock.
+func convertResult(inner *core.Result) *Result {
+	out := &Result{
+		Vars:    inner.Vars,
+		Tuples:  inner.Answers,
+		Metrics: inner.Metrics,
+	}
 	if inner.Plan != nil {
 		out.Plan = inner.Plan.String()
 		out.Strategy = inner.Plan.Strategy
@@ -398,8 +421,78 @@ func (db *DB) queryOnce(ctx context.Context, goals []program.Atom, opts core.Opt
 	for _, b := range inner.Bindings {
 		out.Rows = append(out.Rows, Row(b))
 	}
-	return out, nil
+	return out
 }
+
+// Analysis is the outcome of ExplainAnalyze: the executed query plus
+// the rendered calibration report comparing the planner's estimated
+// join expansion ratios against the ratios the evaluation observed.
+type Analysis struct {
+	// Result is the completed query, with tracing, per-literal
+	// statistics and per-round delta profiles enabled.
+	Result *Result
+	// Report is the rendered EXPLAIN ANALYZE text: each split/follow
+	// decision with its estimated vs. observed expansion ratio, the
+	// chain-generating-path walks, the observed rule profiles and the
+	// per-round delta sizes.
+	Report string
+	// Flagged counts calibration misses — decisions whose observed
+	// ratio landed in a different threshold regime than the estimate.
+	Flagged int
+}
+
+// ExplainAnalyze runs the query with tracing and per-literal join
+// statistics enabled and returns, alongside the complete result, a
+// calibration report confronting every chain-split decision's
+// estimated expansion ratio with the ratio actually observed. A
+// decision whose observation crosses a threshold its estimate was on
+// the other side of is flagged — this is how a mispriced connection
+// (e.g. a connector relation far denser than the statistics implied)
+// shows up as a ⚠ line instead of just a slow query.
+func (db *DB) ExplainAnalyze(q string, options ...Option) (*Analysis, error) {
+	return db.ExplainAnalyzeCtx(context.Background(), q, options...)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context; it passes
+// admission control like a query (no retry — analysis is interactive).
+func (db *DB) ExplainAnalyzeCtx(ctx context.Context, q string, options ...Option) (an *Analysis, err error) {
+	defer apiRecover(&err)
+	goals, qc, err := db.prepare(q, options)
+	if err != nil {
+		return nil, err
+	}
+	qc.opts.Ctx = ctx
+	obsv.Queries.Inc()
+	start := time.Now()
+	wait, release, err := db.adm.Acquire(ctx)
+	if err != nil {
+		obsv.QueryErrors.Inc()
+		if errors.Is(err, everr.ErrOverloaded) {
+			return nil, &core.EvalError{Strategy: "admission", Err: err}
+		}
+		return nil, err
+	}
+	defer release()
+	rep, err := db.inner.ExplainAnalyze(goals, qc.opts)
+	if err != nil {
+		obsv.QueryErrors.Inc()
+		return nil, err
+	}
+	out := convertResult(rep.Result)
+	out.Metrics.AdmissionWait = wait
+	out.Duration = time.Since(start)
+	return &Analysis{Result: out, Report: rep.String(), Flagged: rep.Flagged}, nil
+}
+
+// MetricsSnapshot renders the process-wide metrics registry as text:
+// one metric per line (`name value`, preceded by a `# HELP` comment),
+// counters first, then gauges — the shape scrape-based collectors
+// ingest. The registry is process-wide: a binary embedding several DBs
+// sees the sum over all of them. Counters cover queries, errors,
+// retries, admission grants and sheds, generations, fallbacks and
+// parallel-evaluation work; gauges sample the interned-term
+// dictionaries.
+func MetricsSnapshot() string { return obsv.Snapshot() }
 
 // Explain plans a query without executing it and renders the plan.
 func (db *DB) Explain(q string, options ...Option) (plan string, err error) {

@@ -12,6 +12,7 @@
 //	benchtab -parallel 8  # client concurrency for C1 (default GOMAXPROCS)
 //	benchtab -json .      # record perf experiments as BENCH_<ID>.json files
 //	benchtab -workers 4   # per-query fixpoint parallelism (results unchanged)
+//	benchtab -metrics     # print the process metrics snapshot after the run
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"chainsplit"
 	"chainsplit/internal/experiments"
 )
 
@@ -31,7 +33,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "client concurrency for the concurrent-serving experiment (0 = GOMAXPROCS, min 4)")
 	workers := flag.Int("workers", 0, "per-query fixpoint parallelism (0 or 1 = serial; results are identical either way)")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<ID>.json perf records into (empty = don't)")
+	metrics := flag.Bool("metrics", false, "print the process metrics snapshot (queries, retries, sheds, parallel work, interned terms) after the run")
 	flag.Parse()
+	defer func() {
+		if *metrics {
+			fmt.Print("\nprocess metrics:\n" + chainsplit.MetricsSnapshot())
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {

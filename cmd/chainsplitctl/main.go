@@ -6,6 +6,7 @@
 //	chainsplitctl prog.dl                      # load + run embedded ?- queries
 //	chainsplitctl -q '?- sg(ann, Y).' prog.dl  # one query
 //	chainsplitctl -explain -q '…' prog.dl      # print the plan only
+//	chainsplitctl -analyze -q '…' prog.dl      # run + estimated-vs-observed report
 //	chainsplitctl -i prog.dl                   # REPL on stdin
 //	chainsplitctl -strategy magic-follow …     # force a strategy
 //	chainsplitctl -timeout 500ms -q '…' …      # bound query wall-clock time
@@ -42,10 +43,11 @@ var strategies = map[string]chainsplit.Strategy{
 func main() {
 	query := flag.String("q", "", "query to evaluate (default: queries embedded in the program)")
 	explain := flag.Bool("explain", false, "print the evaluation plan instead of answers")
+	analyze := flag.Bool("analyze", false, "run the query and print the EXPLAIN ANALYZE calibration report (estimated vs. observed expansion per split/follow decision)")
 	interactive := flag.Bool("i", false, "read queries from stdin after loading")
 	strategyName := flag.String("strategy", "auto", "evaluation strategy: auto|magic|magic-follow|magic-split|buffered|topdown|seminaive")
-	metrics := flag.Bool("metrics", false, "print evaluation metrics after answers")
-	trace := flag.Bool("trace", false, "print the buffered-evaluation event trace after answers")
+	metrics := flag.Bool("metrics", false, "print evaluation metrics after answers, and the process metrics snapshot on exit")
+	trace := flag.Bool("trace", false, "print the evaluation trace (typed phase events) after answers")
 	dump := flag.Bool("dump", false, "print the loaded program and exit")
 	compile := flag.String("compile", "", "print the compiled chain form of pred/arity and exit")
 	facts := flag.String("facts", "", "bulk-load tab-separated facts: pred=path.tsv (may repeat comma-separated)")
@@ -138,6 +140,16 @@ func main() {
 			fmt.Print(plan)
 			return nil
 		}
+		if *analyze {
+			an, err := db.ExplainAnalyze(q, opts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %s\n", limitMessage(err, *timeout))
+				return err
+			}
+			fmt.Print(an.Report)
+			fmt.Printf("(%d answers, %s, %v)\n", len(an.Result.Rows), an.Result.Strategy, an.Result.Duration)
+			return nil
+		}
 		res, err := db.Query(q, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %s\n", limitMessage(err, *timeout))
@@ -182,6 +194,10 @@ func main() {
 		}
 	default:
 		fail("no query: pass -q, -i, or a program with embedded ?- queries")
+	}
+
+	if *metrics {
+		fmt.Print("\nprocess metrics:\n" + chainsplit.MetricsSnapshot())
 	}
 }
 

@@ -270,6 +270,16 @@ func TestAdmissionQueuedQueryRuns(t *testing.T) {
 	if res.Metrics.AdmissionWait <= 0 {
 		t.Errorf("AdmissionWait = %v, want > 0 for a queued query", res.Metrics.AdmissionWait)
 	}
+	// Duration is the end-to-end clock, so the queue time is inside it.
+	// (Regression: it used to copy the final attempt's evaluation time,
+	// which excludes admission waits entirely.)
+	if res.Duration < res.Metrics.AdmissionWait {
+		t.Errorf("Duration %v < AdmissionWait %v: queue time not in the end-to-end clock",
+			res.Duration, res.Metrics.AdmissionWait)
+	}
+	if res.Duration < res.Metrics.Duration {
+		t.Errorf("end-to-end Duration %v < evaluation Duration %v", res.Duration, res.Metrics.Duration)
+	}
 	<-holder
 }
 
@@ -300,6 +310,15 @@ func TestWithRetryRecoversFromTransientPanic(t *testing.T) {
 	}
 	if res.Metrics.Retries != 2 {
 		t.Errorf("Metrics.Retries = %d, want 2", res.Metrics.Retries)
+	}
+	// Two retries at >= 1ms backoff each: the end-to-end Duration must
+	// cover the failed attempts and their backoff, not just the final
+	// (successful) attempt's evaluation time.
+	if res.Duration < 2*time.Millisecond {
+		t.Errorf("Duration %v does not cover two 1ms backoffs", res.Duration)
+	}
+	if res.Duration < res.Metrics.Duration {
+		t.Errorf("end-to-end Duration %v < final attempt's %v", res.Duration, res.Metrics.Duration)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"chainsplit/internal/everr"
 	"chainsplit/internal/limits"
+	"chainsplit/internal/obsv"
 )
 
 // Config sizes a Controller.
@@ -104,6 +105,7 @@ func (c *Controller) AcquireN(ctx context.Context, weight int) (wait time.Durati
 		c.mu.Lock()
 		c.stats.Rejected++
 		c.mu.Unlock()
+		obsv.Shed.Inc()
 		return 0, nil, everr.Tag(
 			fmt.Sprintf("admission: weight %d exceeds capacity %d", weight, c.capacity),
 			everr.ErrOverloaded)
@@ -117,12 +119,14 @@ func (c *Controller) AcquireN(ctx context.Context, weight int) (wait time.Durati
 		c.inflight += weight
 		c.stats.Admitted++
 		c.mu.Unlock()
+		obsv.Admitted.Inc()
 		return 0, c.releaseFunc(weight), nil
 	}
 	// Saturated: queue if there is room, shed otherwise.
 	if len(c.queue) >= c.maxQueue {
 		c.stats.Rejected++
 		c.mu.Unlock()
+		obsv.Shed.Inc()
 		return 0, nil, everr.ErrOverloaded
 	}
 	w := &waiter{weight: weight, ready: make(chan struct{}), since: time.Now()}
@@ -169,6 +173,7 @@ func (c *Controller) granted(w *waiter, weight int) (time.Duration, func(), erro
 		c.stats.MaxQueueWait = wait
 	}
 	c.mu.Unlock()
+	obsv.Admitted.Inc()
 	return wait, c.releaseFunc(weight), nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"chainsplit/internal/counting"
 	"chainsplit/internal/everr"
 	"chainsplit/internal/magic"
+	"chainsplit/internal/obsv"
 	"chainsplit/internal/partial"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
@@ -129,6 +130,20 @@ type Options struct {
 	// same metrics — and respects Ctx cancellation and the tuple /
 	// iteration budgets; see seminaive.Options.Workers.
 	Workers int
+	// Trace enables the structured trace: each evaluation attempt
+	// records typed phase events (plan/compile/round/merge/level) into
+	// a fresh obsv.Tracer, reported as Metrics.TraceEvents (typed) and
+	// appended to Metrics.Events (string form, for compatibility).
+	// Disabled tracing costs nothing on the evaluation hot paths.
+	Trace bool
+	// LitStats records observed per-rule, per-body-literal join
+	// statistics (seminaive strategies only) in Metrics.Rules — the
+	// observed side of ExplainAnalyze's calibration report.
+	LitStats bool
+	// tracer is the per-attempt trace sink created when Trace is set;
+	// a fallback re-run gets its own, so events from a failed attempt
+	// never leak into the final result.
+	tracer *obsv.Tracer
 	// fallbackRerun marks the internal semi-naive re-run after a failed
 	// StrategyAuto plan; it suppresses chain compilation (whose failure
 	// may be what triggered the fallback) and further fallbacks.
@@ -147,6 +162,12 @@ type Metrics struct {
 	MagicTuples   int // tuples in magic relations
 	Deltas        []seminaive.IterStats
 
+	// Rules is the observed per-rule, per-literal join profile (with
+	// Options.LitStats, seminaive strategies): firing counts and the
+	// realized expansion ratio of every body literal — what
+	// ExplainAnalyze compares the cost model's estimates against.
+	Rules []seminaive.RuleProfile
+
 	// Buffered (counting).
 	Contexts int
 	Edges    int
@@ -155,7 +176,13 @@ type Metrics struct {
 	Profile  []counting.LevelStats
 	// Events is the chronological buffered-evaluation log (with
 	// TraceDeltas): the observable form of the paper's worked traces.
+	// With Options.Trace, the structured trace's string form is
+	// appended (the typed events are in TraceEvents).
 	Events []string
+	// TraceEvents is the structured per-attempt trace (with
+	// Options.Trace): typed phase events in emission order. If the
+	// trace ring overflowed, the oldest events are absent.
+	TraceEvents []obsv.Event
 
 	// Top-down.
 	Steps     int
@@ -315,6 +342,7 @@ func cappedProgram(p *program.Program) *program.Program {
 func (db *DB) publish(next *generation) {
 	next.cat.Freeze()
 	db.gen.Store(next)
+	obsv.Generations.Inc()
 }
 
 // Load adds rules, facts and pragmas from a parsed program by
@@ -503,6 +531,7 @@ func (g *generation) queryWithFallback(goals []program.Atom, opts Options) (*Res
 		// The baseline failed too: surface the original failure.
 		return res, err
 	}
+	obsv.Fallbacks.Inc()
 	res2.Metrics.FallbackFrom = from
 	res2.Metrics.FallbackReason = err.Error()
 	if res2.Plan != nil {
@@ -748,6 +777,7 @@ func (g *generation) plan(goal program.Atom, cons []program.Atom, opts Options) 
 		}
 		pd.comp = comp
 		pl.NChains = comp.NChains()
+		opts.tracer.Point(obsv.PhaseCompile, pl.Goal, int64(pl.NChains), 0)
 	}
 
 	functional := g.reachesFunctional(goal.Key(), pd.graph)
@@ -932,10 +962,37 @@ func (g *generation) reachesFunctional(key string, dg *program.DepGraph) bool {
 	return false
 }
 
-// query plans and dispatches one query. track, when non-nil, receives
-// the plan as soon as it exists, so the panic-containment layer can
-// attribute a recovered panic to the strategy that was running.
+// query wraps dispatch with the per-attempt structured trace: a fresh
+// tracer per call (a fallback re-run is a separate call and gets its
+// own), spanning the whole attempt, whose events land in the attempt's
+// own Metrics.
 func (g *generation) query(goals []program.Atom, opts Options, track **Plan) (*Result, error) {
+	if opts.Trace && opts.tracer == nil {
+		opts.tracer = obsv.NewTracer(0)
+	}
+	tr := opts.tracer
+	var goalName string
+	if tr.Enabled() {
+		goalName = atomsString(goals)
+		tr.Begin(obsv.PhaseQuery, goalName)
+		if opts.fallbackRerun {
+			tr.Point(obsv.PhaseFallback, "seminaive", 0, 0)
+		}
+	}
+	res, err := g.dispatch(goals, opts, track)
+	if res != nil {
+		tr.End(obsv.PhaseQuery, goalName, int64(len(res.Answers)))
+		res.Metrics.TraceEvents = tr.Events()
+		res.Metrics.Events = append(res.Metrics.Events, tr.Strings()...)
+	}
+	return res, err
+}
+
+// dispatch plans and dispatches one query. track, when non-nil,
+// receives the plan as soon as it exists, so the panic-containment
+// layer can attribute a recovered panic to the strategy that was
+// running.
+func (g *generation) dispatch(goals []program.Atom, opts Options, track **Plan) (*Result, error) {
 	setTrack := func(pl *Plan) {
 		if track != nil && pl != nil {
 			*track = pl
@@ -952,6 +1009,7 @@ func (g *generation) query(goals []program.Atom, opts Options, track **Plan) (*R
 	if err != nil {
 		return &Result{Plan: pl}, err
 	}
+	opts.tracer.Point(obsv.PhasePlan, strategyNames[pd.strategy], int64(len(pl.Splits)), 0)
 	res := &Result{Plan: pl}
 	switch pd.strategy {
 	case StrategySeminaive:
@@ -1030,6 +1088,8 @@ func (g *generation) runSeminaive(res *Result, goal program.Atom, cons []program
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
 		Workers:       opts.Workers,
+		LitStats:      opts.LitStats,
+		Tracer:        opts.tracer,
 		// Evaluate only the goal's dependency cone: an unrelated
 		// divergent recursion elsewhere in the program must not hang
 		// (or even slow) this query.
@@ -1039,6 +1099,7 @@ func (g *generation) runSeminaive(res *Result, goal program.Atom, cons []program
 	res.Metrics.DerivedTuples = stats.DerivedTuples
 	res.Metrics.Matches = stats.Matches
 	res.Metrics.Deltas = stats.Deltas
+	res.Metrics.Rules = stats.Rules
 	if err != nil {
 		return res, err
 	}
@@ -1094,10 +1155,13 @@ func (g *generation) runMagic(res *Result, pd *planned, opts Options) (*Result, 
 				MaxIterations: opts.MaxIterations,
 				MaxTuples:     opts.MaxTuples,
 				Workers:       opts.Workers,
+				LitStats:      opts.LitStats,
+				Tracer:        opts.tracer,
 			})
 			res.Metrics.Iterations += p1stats.Iterations
 			res.Metrics.DerivedTuples += p1stats.DerivedTuples
 			res.Metrics.Matches += p1stats.Matches
+			res.Metrics.Rules = append(res.Metrics.Rules, p1stats.Rules...)
 			if err != nil {
 				return res, err
 			}
@@ -1117,11 +1181,14 @@ func (g *generation) runMagic(res *Result, pd *planned, opts Options) (*Result, 
 		MaxTuples:     opts.MaxTuples,
 		TraceDeltas:   opts.TraceDeltas,
 		Workers:       opts.Workers,
+		LitStats:      opts.LitStats,
+		Tracer:        opts.tracer,
 	})
 	res.Metrics.Iterations += stats.Iterations
 	res.Metrics.DerivedTuples += stats.DerivedTuples
 	res.Metrics.Matches += stats.Matches
 	res.Metrics.Deltas = stats.Deltas
+	res.Metrics.Rules = append(res.Metrics.Rules, stats.Rules...)
 	for _, name := range cat.Names() {
 		if strings.HasPrefix(name, "m$") {
 			res.Metrics.MagicTuples += cat.Get(name).Len()
@@ -1149,6 +1216,7 @@ func (g *generation) runBuffered(res *Result, pd *planned, opts Options) (*Resul
 		MaxLevels:  opts.MaxLevels,
 		MaxAnswers: opts.MaxAnswers,
 		Trace:      opts.TraceDeltas,
+		Tracer:     opts.tracer,
 	}
 	if pd.push != nil {
 		copts.Acc = pd.push.Acc
@@ -1177,7 +1245,7 @@ func (g *generation) runTopDownConjunction(goals []program.Atom, opts Options) (
 	res := &Result{Plan: &Plan{Strategy: StrategyTopDown, Goal: atomsString(goals)}}
 	// The top-down engine seeds program facts into its catalog; a
 	// snapshot keeps those (usually no-op) writes off the generation.
-	e := topdown.New(g.prog, g.cat.Snapshot(), topdown.Options{Ctx: opts.Ctx, MaxSteps: opts.MaxSteps})
+	e := topdown.New(g.prog, g.cat.Snapshot(), topdown.Options{Ctx: opts.Ctx, MaxSteps: opts.MaxSteps, Tracer: opts.tracer})
 	answers, err := e.SolveConjunction(goals)
 	st := e.Stats()
 	res.Metrics.Steps = st.Steps

@@ -95,7 +95,11 @@ func (m *Model) Expansion(lit program.Atom, bound map[string]bool) float64 {
 		return m.defaultExpansion()
 	}
 	if rel.Len() == 0 {
-		return 1
+		// Explicit zero-expansion signal: the connection is provably
+		// empty, so any plan joining through it is vacuous. Callers
+		// (Decide, SplitPath) treat 0 as its own case — it must not be
+		// conflated with "selection, no expansion" (1).
+		return 0
 	}
 	var boundCols []int
 	for i, arg := range lit.Args {
@@ -156,6 +160,12 @@ func (m *Model) domainCap() float64 {
 // already followed in this chain generating path.
 func (m *Model) Decide(e, evalExpansion float64, th Thresholds) (Choice, string) {
 	switch {
+	case e == 0:
+		// Empty connection: the join is vacuous. Follow — propagating
+		// produces an empty magic set and the evaluation terminates
+		// immediately, whereas splitting would delay the (provably
+		// empty) join until after the whole eval portion ran.
+		return Follow, "empty connection (expansion 0): plan is vacuous, follow to terminate early"
 	case e > th.SplitAbove:
 		return Split, fmt.Sprintf("expansion %.2f > split threshold %.2f", e, th.SplitAbove)
 	case e < th.FollowBelow:
@@ -184,6 +194,10 @@ type SplitDecision struct {
 	Expansions map[int]float64
 	// Rationale explains each decision, in order.
 	Rationale []string
+	// Vacuous reports that some propagated connection is provably
+	// empty (expansion 0): the path contributes no tuples, whatever
+	// the split does.
+	Vacuous bool
 }
 
 // SplitPath walks the chain generating path (body literal indices of
@@ -231,6 +245,9 @@ func (m *Model) SplitPath(rule program.Rule, path []int, bound map[string]bool, 
 			return dec
 		}
 		dec.Propagate = append(dec.Propagate, cand)
+		if candExp == 0 {
+			dec.Vacuous = true
+		}
 		evalExpansion *= math.Max(candExp, 1e-9)
 		for v := range rule.Body[cand].Vars() {
 			bound[v] = true

@@ -185,3 +185,60 @@ func TestChoiceString(t *testing.T) {
 		t.Error("Choice.String wrong")
 	}
 }
+
+func TestExpansionEmptyRelationIsZero(t *testing.T) {
+	// An existing-but-empty connector must report the explicit
+	// zero-expansion signal, not 1 ("selection"): with 1 the planner
+	// happily followed bindings through a provably empty connection.
+	cat := relation.NewCatalog()
+	cat.Ensure("same_country", 2)
+	m := &Model{Cat: cat}
+	lit := program.NewAtom("same_country", term.NewVar("X1"), term.NewVar("Y1"))
+	if e := m.Expansion(lit, map[string]bool{"X1": true}); e != 0 {
+		t.Fatalf("empty relation expansion = %v, want 0", e)
+	}
+}
+
+func TestDecideEmptyConnectionFollows(t *testing.T) {
+	m := &Model{Cat: relation.NewCatalog()}
+	choice, why := m.Decide(0, 1.0, DefaultThresholds)
+	if choice != Follow {
+		t.Fatalf("Decide(0) = %v, want follow", choice)
+	}
+	if !strings.Contains(why, "vacuous") {
+		t.Fatalf("rationale %q does not mark the plan vacuous", why)
+	}
+}
+
+func TestSplitPathEmptyConnectorVacuous(t *testing.T) {
+	// scsg over an EDB whose same_country connector is empty: the walk
+	// must follow through the empty connection (terminating the plan
+	// immediately) and mark the decision vacuous.
+	res, err := lang.Parse(`
+scsg(X, Y) :- parent(X, X1), parent(Y, Y1), same_country(X1, Y1), scsg(X1, Y1).
+scsg(X, Y) :- sibling(X, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := res.Program.Rules[0]
+	cat := relation.NewCatalog()
+	parent := cat.Ensure("parent", 2)
+	for i := 0; i < 40; i++ {
+		parent.Insert(relation.Tuple{term.NewInt(int64(i)), term.NewInt(int64(i/2 + 1000))})
+	}
+	cat.Ensure("same_country", 2)
+	m := &Model{Cat: cat}
+	dec := m.SplitPath(rule, []int{0, 1, 2}, map[string]bool{"X": true}, DefaultThresholds)
+	if !dec.Vacuous {
+		t.Fatalf("empty connector not marked vacuous:\n%s", strings.Join(dec.Rationale, "\n"))
+	}
+	followed := make(map[int]bool)
+	for _, li := range dec.Propagate {
+		followed[li] = true
+	}
+	if !followed[2] {
+		t.Fatalf("empty same_country not followed: propagate=%v delayed=%v\n%s",
+			dec.Propagate, dec.Delayed, strings.Join(dec.Rationale, "\n"))
+	}
+}

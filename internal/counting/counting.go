@@ -38,6 +38,7 @@ import (
 	"chainsplit/internal/everr"
 	"chainsplit/internal/faultinject"
 	"chainsplit/internal/limits"
+	"chainsplit/internal/obsv"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
@@ -74,6 +75,11 @@ type Options struct {
 	// Trace records the per-level profile (contexts opened and answers
 	// propagated per level) for the figure experiments.
 	Trace bool
+	// Tracer, when non-nil, receives structured events: one
+	// obsv.PhaseLevel point per context opened and one obsv.PhaseAnswer
+	// point per answer derived — the typed counterpart of the Events
+	// strings. A nil tracer costs nothing.
+	Tracer *obsv.Tracer
 	// Accumulate, when set, maintains a monotone accumulator per
 	// context: the child's value is Accumulate(parent value, edge
 	// bindings). Used by the constraint-pushing partial evaluator
@@ -474,6 +480,7 @@ func (ev *Evaluator) ensureCtx(key, ad string, input []term.Term, level int, acc
 	ev.ctxs[ck] = c
 	ev.ordered = append(ev.ordered, c)
 	ev.stats.Contexts++
+	ev.opts.Tracer.Point(obsv.PhaseLevel, key, int64(level), int64(ev.stats.Contexts))
 	if ev.opts.Trace {
 		ev.traceLevel(level).Contexts++
 		ev.stats.Events = append(ev.stats.Events,
@@ -636,6 +643,7 @@ func (ev *Evaluator) addAnswer(c *ctx, ans []term.Term) error {
 	c.seen[k] = true
 	c.answers = append(c.answers, ans)
 	ev.stats.Answers++
+	ev.opts.Tracer.Point(obsv.PhaseAnswer, c.key, int64(c.level), int64(ev.stats.Answers))
 	if ev.opts.Trace {
 		ev.stats.Events = append(ev.stats.Events,
 			fmt.Sprintf("answer L%d %s %s", c.level, c.key, termsString(ans)))

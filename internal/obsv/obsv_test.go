@@ -1,0 +1,131 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsDisabledAndSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(PhaseRound, KindPoint, "p/2", 1, 2)
+	tr.Begin(PhasePlan, "x")
+	tr.End(PhasePlan, "x", 0)
+	tr.Point(PhaseMerge, "y", 0, 0)
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer returned events: %v", evs)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports drops")
+	}
+}
+
+func TestNilTracerEmitDoesNotAllocate(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(PhaseRound, KindPoint, "tc/2", 3, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Begin(PhaseQuery, "sg/2")
+	tr.Point(PhaseRound, "scc", 1, 10)
+	tr.End(PhaseQuery, "sg/2", 10)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Kind != KindBegin || evs[1].Kind != KindPoint || evs[2].Kind != KindEnd {
+		t.Fatalf("kinds out of order: %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if i > 0 && e.At < evs[i-1].At {
+			t.Fatalf("timestamps not monotone: %v after %v", e.At, evs[i-1].At)
+		}
+	}
+	if s := evs[1].String(); !strings.Contains(s, "round") || !strings.Contains(s, "scc") {
+		t.Fatalf("string form %q missing phase or name", s)
+	}
+}
+
+func TestTracerRingOverflowKeepsNewest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Point(PhaseRound, "x", int64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(7 + i); e.A != want {
+			t.Fatalf("event %d has A=%d, want %d (newest four)", i, e.A, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Point(PhaseRound, "p", int64(i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Dropped() + uint64(len(tr.Events())); got != 800 {
+		t.Fatalf("kept+dropped = %d, want 800", got)
+	}
+}
+
+func TestCounterAndSnapshot(t *testing.T) {
+	c := NewCounter("chainsplit_test_metric_total", "a test counter")
+	if again := NewCounter("chainsplit_test_metric_total", "dup"); again != c {
+		t.Fatal("re-registering a counter name must return the original")
+	}
+	before := c.Value()
+	c.Inc()
+	c.Add(2)
+	if c.Value() != before+3 {
+		t.Fatalf("value = %d, want %d", c.Value(), before+3)
+	}
+	RegisterGauge("chainsplit_test_gauge", "a test gauge", func() int64 { return 42 })
+	snap := Snapshot()
+	for _, want := range []string{
+		"chainsplit_test_metric_total",
+		"chainsplit_test_gauge 42",
+		"chainsplit_queries_total",
+		"chainsplit_interned_terms",
+		"# HELP chainsplit_test_gauge a test gauge",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestNilCounterIsSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+}

@@ -1,0 +1,158 @@
+package obsv
+
+// The process-wide metrics registry: named monotonic counters bumped
+// by the serving layer and the engines, plus gauges sampled at
+// snapshot time. Everything is atomic — registering and bumping are
+// safe from any goroutine — and reading is a point-in-time text
+// snapshot in a one-metric-per-line format (name, value, help), the
+// shape scrape-based collectors ingest.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"chainsplit/internal/term"
+)
+
+// Counter is a monotonic process-wide counter. Use the package-level
+// counters below; NewCounter registers additional ones.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n. A nil counter no-ops, mirroring the
+// nil-Tracer convention.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// gauge is a sampled-at-snapshot metric.
+type gauge struct {
+	name string
+	help string
+	f    func() int64
+}
+
+var (
+	regMu    sync.Mutex
+	counters []*Counter
+	gauges   []gauge
+)
+
+// NewCounter registers a counter under name (snake_case, by
+// convention ending in _total) and returns it. Registering the same
+// name twice returns the existing counter, so package-level metric
+// variables stay singletons across re-initialization in tests.
+func NewCounter(name, help string) *Counter {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, c := range counters {
+		if c.name == name {
+			return c
+		}
+	}
+	c := &Counter{name: name, help: help}
+	counters = append(counters, c)
+	return c
+}
+
+// RegisterGauge registers a gauge sampled by f at snapshot time.
+// Re-registering a name replaces the sampler.
+func RegisterGauge(name, help string, f func() int64) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for i := range gauges {
+		if gauges[i].name == name {
+			gauges[i] = gauge{name: name, help: help, f: f}
+			return
+		}
+	}
+	gauges = append(gauges, gauge{name: name, help: help, f: f})
+}
+
+// The registry's built-in metrics, bumped by the serving layer and the
+// engines. They are process-wide: a binary embedding several DBs sees
+// the sum of all of them, which is what a per-process scrape wants.
+var (
+	// Queries counts evaluations started (admission attempts included).
+	Queries = NewCounter("chainsplit_queries_total", "queries submitted to QueryCtx")
+	// QueryErrors counts queries that returned an error to the caller.
+	QueryErrors = NewCounter("chainsplit_query_errors_total", "queries that failed after retries")
+	// Retries counts re-attempts after transient failures.
+	Retries = NewCounter("chainsplit_retries_total", "query re-attempts after transient failures")
+	// Admitted counts admission-control grants.
+	Admitted = NewCounter("chainsplit_admission_admitted_total", "admission grants (immediate or after queueing)")
+	// Shed counts queries rejected by admission control.
+	Shed = NewCounter("chainsplit_admission_shed_total", "queries shed with ErrOverloaded")
+	// Generations counts published database generations (Exec/LoadFacts).
+	Generations = NewCounter("chainsplit_generations_total", "database generations published")
+	// Fallbacks counts StrategyAuto degradations to semi-naive.
+	Fallbacks = NewCounter("chainsplit_fallbacks_total", "StrategyAuto fallbacks to semi-naive")
+	// ParallelRounds counts fixpoint rounds that fanned across workers.
+	ParallelRounds = NewCounter("chainsplit_parallel_rounds_total", "fixpoint rounds evaluated by a worker pool")
+	// ParallelItems counts (rule × delta) work items run by workers.
+	ParallelItems = NewCounter("chainsplit_parallel_items_total", "work items evaluated by worker pools")
+	// WorkerBusyNanos accumulates wall time worker goroutines spent
+	// evaluating items; divided by elapsed wall time it yields the
+	// worker-utilization figure reported in the snapshot docs.
+	WorkerBusyNanos = NewCounter("chainsplit_worker_busy_nanos_total", "cumulative worker-goroutine busy time (ns)")
+)
+
+func init() {
+	RegisterGauge("chainsplit_interned_terms", "distinct ground terms in the process-wide dictionaries",
+		func() int64 {
+			s := term.DictStats()
+			return int64(s.Syms + s.Strs + s.Comps + s.BigInts)
+		})
+	RegisterGauge("chainsplit_interned_compounds", "distinct ground compound terms interned",
+		func() int64 { return int64(term.DictStats().Comps) })
+}
+
+// Snapshot renders every registered metric as text: a `# HELP` comment
+// followed by `name value`, counters first, then gauges, each group
+// sorted by name. The output is a point-in-time read; counters may
+// advance while it renders.
+func Snapshot() string {
+	regMu.Lock()
+	cs := append([]*Counter(nil), counters...)
+	gs := append([]gauge(nil), gauges...)
+	regMu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	var b strings.Builder
+	for _, c := range cs {
+		if c.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", c.name, c.help)
+		}
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.Value())
+	}
+	for _, g := range gs {
+		if g.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", g.name, g.help)
+		}
+		fmt.Fprintf(&b, "%s %d\n", g.name, g.f())
+	}
+	return b.String()
+}

@@ -15,10 +15,15 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"chainsplit/internal/everr"
 )
+
+// seedCounter disambiguates the default seeds of Do calls that start
+// within the same clock tick.
+var seedCounter atomic.Int64
 
 // Policy configures Do. The zero value means "no retries": a single
 // attempt, no backoff — so plumbing a Policy through existing code
@@ -37,6 +42,13 @@ type Policy struct {
 	// shed queries don't retry in lockstep and overload the server
 	// again in a synchronized wave.
 	Jitter float64
+	// Seed seeds the jitter's random source. Each Do call draws its
+	// jitter from its own generator — never from the process-global
+	// math/rand source, whose stream any other package could perturb
+	// (or re-seed) and whose lock every retrier would contend on. Zero
+	// means a unique seed per Do call; set it for reproducible backoff
+	// schedules in tests and soak harnesses.
+	Seed int64
 	// Retryable decides whether an error is worth another attempt;
 	// nil means DefaultRetryable.
 	Retryable func(error) bool
@@ -64,20 +76,35 @@ func (p Policy) Do(ctx context.Context, f func() error) (retries int, err error)
 	if retryable == nil {
 		retryable = DefaultRetryable
 	}
+	rng := p.newRand()
 	for attempt := 1; ; attempt++ {
 		err = f()
 		if err == nil || attempt >= attempts || !retryable(err) {
 			return attempt - 1, err
 		}
-		if serr := sleep(ctx, p.delay(attempt)); serr != nil {
+		if serr := sleep(ctx, p.delay(attempt, rng)); serr != nil {
 			return attempt - 1, serr
 		}
 	}
 }
 
+// newRand returns the jitter source for one Do call: seeded from
+// Policy.Seed when set, uniquely otherwise. The generator is private
+// to the call (Do draws from it sequentially), so it needs no lock and
+// its stream cannot be perturbed by other goroutines the way the
+// process-global math/rand source can.
+func (p Policy) newRand() *rand.Rand {
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() + seedCounter.Add(1)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
 // delay returns the backoff before retry number attempt (1-based):
-// BaseDelay doubled attempt-1 times, capped at MaxDelay, jittered.
-func (p Policy) delay(attempt int) time.Duration {
+// BaseDelay doubled attempt-1 times, capped at MaxDelay, jittered from
+// rng (which may be nil when Jitter is zero).
+func (p Policy) delay(attempt int, rng *rand.Rand) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
 		base = 10 * time.Millisecond
@@ -98,7 +125,10 @@ func (p Policy) delay(attempt int) time.Duration {
 			j = 1
 		}
 		// Scale by a uniform factor in [1-j, 1+j].
-		d = time.Duration(float64(d) * (1 - j + 2*j*rand.Float64()))
+		if rng == nil {
+			rng = p.newRand()
+		}
+		d = time.Duration(float64(d) * (1 - j + 2*j*rng.Float64()))
 	}
 	return d
 }

@@ -192,3 +192,33 @@ e(a, b). e(b, c). e(c, d).
 		}
 	}
 }
+
+// TestLitStatsParallelMatchesSerial locks in the observed-statistics
+// determinism claim: per-rule firing, derivation, and per-literal
+// in/out counts must be identical for Workers 1 and 8.
+func TestLitStatsParallelMatchesSerial(t *testing.T) {
+	_, serialStats, err := evalWorkers(t, mutualSrc, Options{MaxIterations: 100, LitStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialStats.Rules) == 0 {
+		t.Fatal("LitStats produced no rule profiles")
+	}
+	for _, rp := range serialStats.Rules {
+		if rp.Fires > 0 && rp.Derived > rp.Fires {
+			t.Fatalf("rule %q derived %d > fires %d", rp.Rule, rp.Derived, rp.Fires)
+		}
+		for _, lp := range rp.Lits {
+			if lp.In < 0 || lp.Out < 0 {
+				t.Fatalf("rule %q literal %q has negative counts: %+v", rp.Rule, lp.Lit, lp)
+			}
+		}
+	}
+	_, parStats, err := evalWorkers(t, mutualSrc, Options{MaxIterations: 100, LitStats: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(parStats.Rules) != fmt.Sprint(serialStats.Rules) {
+		t.Fatalf("rule profiles differ under workers=8:\n%v\nvs serial\n%v", parStats.Rules, serialStats.Rules)
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"chainsplit/internal/builtin"
 	"chainsplit/internal/everr"
 	"chainsplit/internal/faultinject"
 	"chainsplit/internal/limits"
+	"chainsplit/internal/obsv"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
@@ -65,6 +67,15 @@ type Options struct {
 	// Workers=1 — see docs/performance.md for the argument. Registered
 	// builtins must be safe for concurrent calls when Workers > 1.
 	Workers int
+	// LitStats records per-rule, per-body-literal runtime join
+	// statistics (substitutions reaching each literal and matches it
+	// produced) in Stats.Rules — the observed side of EXPLAIN ANALYZE.
+	// Off by default: the counts touch the innermost join loop.
+	LitStats bool
+	// Tracer, when non-nil, receives structured round/merge events
+	// (obsv.PhaseRound / obsv.PhaseMerge), one per fixpoint round per
+	// SCC. A nil tracer costs nothing.
+	Tracer *obsv.Tracer
 }
 
 func (o Options) maxIterations() int {
@@ -90,12 +101,36 @@ type IterStats struct {
 	DeltaSizes map[string]int
 }
 
+// LitProfile is the observed runtime behavior of one body literal: In
+// counts the partial substitutions that reached it, Out the matches it
+// produced (solutions passed downstream). Out/In is the literal's
+// realized join expansion ratio — the run-time counterpart of the
+// estimate cost.Model.Expansion feeds into Algorithm 3.1.
+type LitProfile struct {
+	Lit     string
+	In, Out int64
+}
+
+// RuleProfile aggregates one rule's runtime behavior across every
+// fixpoint round it participated in.
+type RuleProfile struct {
+	// Rule is the rule as evaluated (for rewritten programs, the magic
+	// or answer rule, not the source rule).
+	Rule string
+	// Fires counts complete body matches (head derivation attempts);
+	// Derived counts the subset that produced a new tuple.
+	Fires, Derived int64
+	// Lits holds the per-literal profile in body order.
+	Lits []LitProfile
+}
+
 // Stats aggregates evaluation metrics.
 type Stats struct {
 	Iterations    int         // total fixpoint rounds across SCCs
 	DerivedTuples int         // tuples inserted into IDB relations
 	Matches       int64       // tuple matches enumerated (join work proxy)
 	Deltas        []IterStats // present when Options.TraceDeltas
+	Rules         []RuleProfile // present when Options.LitStats
 }
 
 // relName converts a predicate key (p/2) into a relation name. Derived
@@ -111,6 +146,78 @@ type Engine struct {
 	opts  Options
 	stats Stats
 	idb   map[string]bool
+	// lits aggregates per-rule literal statistics (Options.LitStats),
+	// keyed by the rule's rendered form.
+	lits map[string]*litCounters
+}
+
+// litCounters accumulates one rule's runtime join statistics. The
+// serial path accumulates into the engine-wide aggregate directly;
+// parallel rounds give each work item a private instance and merge in
+// item order, so the counts are identical to serial evaluation.
+type litCounters struct {
+	rule           program.Rule
+	fires, derived int64
+	in, out        []int64
+}
+
+func newLitCounters(r program.Rule) *litCounters {
+	return &litCounters{rule: r, in: make([]int64, len(r.Body)), out: make([]int64, len(r.Body))}
+}
+
+// add merges o into lc field-wise.
+func (lc *litCounters) add(o *litCounters) {
+	lc.fires += o.fires
+	lc.derived += o.derived
+	for i := range o.in {
+		lc.in[i] += o.in[i]
+		lc.out[i] += o.out[i]
+	}
+}
+
+// litsFor returns the engine-wide aggregate counter for r, or nil when
+// literal statistics are disabled.
+func (e *Engine) litsFor(r program.Rule) *litCounters {
+	if !e.opts.LitStats {
+		return nil
+	}
+	key := r.String()
+	lc := e.lits[key]
+	if lc == nil {
+		lc = newLitCounters(r)
+		e.lits[key] = lc
+	}
+	return lc
+}
+
+// mergeLits folds a work item's private counters into the aggregate.
+func (e *Engine) mergeLits(o *litCounters) {
+	if o == nil {
+		return
+	}
+	e.litsFor(o.rule).add(o)
+}
+
+// finishLits materializes Stats.Rules from the aggregates, sorted by
+// rule text for deterministic output.
+func (e *Engine) finishLits() {
+	if len(e.lits) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(e.lits))
+	for k := range e.lits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.stats.Rules = e.stats.Rules[:0]
+	for _, k := range keys {
+		lc := e.lits[k]
+		rp := RuleProfile{Rule: k, Fires: lc.fires, Derived: lc.derived}
+		for i, b := range lc.rule.Body {
+			rp.Lits = append(rp.Lits, LitProfile{Lit: b.String(), In: lc.in[i], Out: lc.out[i]})
+		}
+		e.stats.Rules = append(e.stats.Rules, rp)
+	}
 }
 
 // New prepares an engine. The catalog is used as working storage: EDB
@@ -119,6 +226,9 @@ type Engine struct {
 // untouched.
 func New(p *program.Program, cat *relation.Catalog, opts Options) *Engine {
 	e := &Engine{prog: p, graph: program.NewDepGraph(p), cat: cat, opts: opts, idb: p.IDB()}
+	if opts.LitStats {
+		e.lits = make(map[string]*litCounters)
+	}
 	for _, f := range p.Facts {
 		tup := relation.Tuple(f.Args)
 		// Skip facts already present: on a copy-on-write snapshot of a
@@ -164,6 +274,9 @@ func (e *Engine) Run() error {
 	var cone map[string]bool
 	if e.opts.Goal != "" {
 		cone = e.graph.Reachable(e.opts.Goal)
+	}
+	if e.opts.LitStats {
+		defer e.finishLits()
 	}
 	for _, scc := range e.graph.SCCs {
 		if cone != nil && !sccInCone(scc, cone) {
@@ -271,6 +384,7 @@ func (e *Engine) runSCC(scc []string) error {
 	for _, i := range exitIdx {
 		items = append(items, workItem{rule: i, deltaLit: -1})
 	}
+	e.opts.Tracer.Point(obsv.PhaseRound, scc[0], 0, int64(len(items)))
 	if err := e.runItems(rules, scheds, items, nil, headRels, next); err != nil {
 		return err
 	}
@@ -300,6 +414,7 @@ func (e *Engine) runSCC(scc []string) error {
 				SCC: scc[0], Iteration: iter, DeltaSizes: ds,
 			})
 		}
+		e.opts.Tracer.Point(obsv.PhaseMerge, scc[0], int64(iter), int64(total))
 		if e.stats.DerivedTuples > e.opts.maxTuples() {
 			return 0, fmt.Errorf("%w: more than %d tuples derived", ErrBudget, e.opts.maxTuples())
 		}
@@ -348,6 +463,7 @@ func (e *Engine) runSCC(scc []string) error {
 				items = append(items, workItem{rule: i, deltaLit: li})
 			}
 		}
+		e.opts.Tracer.Point(obsv.PhaseRound, scc[0], int64(iter), int64(len(items)))
 		if err := e.runItems(rules, scheds, items, deltas, headRels, next); err != nil {
 			return err
 		}
@@ -370,18 +486,18 @@ type workItem struct {
 }
 
 // derive resolves the rule head under s and stages the tuple into dst
-// unless the full relation already holds it.
-func derive(head program.Atom, s term.Subst, full, dst *relation.Relation) error {
+// unless the full relation already holds it. It reports whether the
+// tuple was staged (new this round so far).
+func derive(head program.Atom, s term.Subst, full, dst *relation.Relation) (bool, error) {
 	args := s.ResolveAll(head.Args)
 	tup := relation.Tuple(args)
 	if !tup.Ground() {
-		return fmt.Errorf("%w: head %s not ground in %s", ErrUnsafe, head.Resolve(s), head)
+		return false, fmt.Errorf("%w: head %s not ground in %s", ErrUnsafe, head.Resolve(s), head)
 	}
 	if full.Contains(tup) {
-		return nil
+		return false, nil
 	}
-	dst.Insert(tup)
-	return nil
+	return dst.Insert(tup), nil
 }
 
 // runItems evaluates one round's work items into the staging map next,
@@ -419,8 +535,13 @@ func (e *Engine) runItems(rules []program.Rule, scheds [][]int, items []workItem
 			r := rules[it.rule]
 			full := headRels[r.Head.Key()]
 			dst := next[r.Head.Key()]
-			err := e.eval(r, scheds[it.rule], deltas, it.deltaLit, &e.stats.Matches, func(s term.Subst) error {
-				return derive(r.Head, s, full, dst)
+			lc := e.litsFor(r)
+			err := e.eval(r, scheds[it.rule], deltas, it.deltaLit, &e.stats.Matches, lc, func(s term.Subst) error {
+				ins, err := derive(r.Head, s, full, dst)
+				if ins && lc != nil {
+					lc.derived++
+				}
+				return err
 			})
 			if err != nil {
 				return err
@@ -429,8 +550,11 @@ func (e *Engine) runItems(rules []program.Rule, scheds [][]int, items []workItem
 		return nil
 	}
 
+	obsv.ParallelRounds.Inc()
+	obsv.ParallelItems.Add(int64(len(items)))
 	staging := make([]*relation.Relation, len(items))
 	matches := make([]int64, len(items))
+	lits := make([]*litCounters, len(items))
 	errs := make([]error, len(items))
 	idxCh := make(chan int, len(items))
 	for k := range items {
@@ -442,9 +566,11 @@ func (e *Engine) runItems(rules []program.Rule, scheds [][]int, items []workItem
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			busy := time.Now()
 			for k := range idxCh {
-				e.runItem(rules, scheds, items, deltas, headRels, k, staging, matches, errs)
+				e.runItem(rules, scheds, items, deltas, headRels, k, staging, matches, lits, errs)
 			}
+			obsv.WorkerBusyNanos.Add(time.Since(busy).Nanoseconds())
 		}()
 	}
 	wg.Wait()
@@ -455,10 +581,15 @@ func (e *Engine) runItems(rules []program.Rule, scheds [][]int, items []workItem
 	// are discarded), so Stats and contents agree with Workers=1.
 	for k := range items {
 		e.stats.Matches += matches[k]
+		e.mergeLits(lits[k])
 		if errs[k] != nil {
 			return errs[k]
 		}
-		next[rules[items[k].rule].Head.Key()].InsertAll(staging[k])
+		r := rules[items[k].rule]
+		n := next[r.Head.Key()].InsertAll(staging[k])
+		if lc := e.litsFor(r); lc != nil {
+			lc.derived += int64(n)
+		}
 	}
 	return nil
 }
@@ -467,7 +598,7 @@ func (e *Engine) runItems(rules []program.Rule, scheds [][]int, items []workItem
 // containing panics from rule bodies (user-registered builtins may
 // misbehave) so they surface as typed errors instead of killing the
 // process.
-func (e *Engine) runItem(rules []program.Rule, scheds [][]int, items []workItem, deltas map[string]*relation.Relation, headRels map[string]*relation.Relation, k int, staging []*relation.Relation, matches []int64, errs []error) {
+func (e *Engine) runItem(rules []program.Rule, scheds [][]int, items []workItem, deltas map[string]*relation.Relation, headRels map[string]*relation.Relation, k int, staging []*relation.Relation, matches []int64, lits []*litCounters, errs []error) {
 	r := rules[items[k].rule]
 	defer func() {
 		if v := recover(); v != nil {
@@ -484,8 +615,18 @@ func (e *Engine) runItem(rules []program.Rule, scheds [][]int, items []workItem,
 	full := headRels[r.Head.Key()]
 	dst := relation.New(full.Name(), full.Arity())
 	staging[k] = dst
-	errs[k] = e.eval(r, scheds[items[k].rule], deltas, items[k].deltaLit, &matches[k], func(s term.Subst) error {
-		return derive(r.Head, s, full, dst)
+	var lc *litCounters
+	if e.opts.LitStats {
+		lc = newLitCounters(r)
+		lits[k] = lc
+	}
+	// Derived counts are attributed at merge time (InsertAll into next
+	// in item order), not here: a private staging relation can't see
+	// what earlier items already staged, and counting its inserts would
+	// double-count tuples two items derive in the same round.
+	errs[k] = e.eval(r, scheds[items[k].rule], deltas, items[k].deltaLit, &matches[k], lc, func(s term.Subst) error {
+		_, err := derive(r.Head, s, full, dst)
+		return err
 	})
 }
 
@@ -576,17 +717,25 @@ func allB(n int) string {
 // reads from the delta relation instead of the full one. Match counts
 // go through the caller-supplied counter so concurrent work items
 // never share one — the serial path passes &e.stats.Matches directly.
-func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, matches *int64, emit func(term.Subst) error) error {
+// When lc is non-nil, per-literal in/out counts and rule firings are
+// recorded into it under the same no-sharing discipline.
+func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.Relation, deltaLit int, matches *int64, lc *litCounters, emit func(term.Subst) error) error {
 	// No renaming needed: every evaluation starts from an empty
 	// substitution and variables are scoped to this one rule.
 	rr := r
 	var rec func(step int, s term.Subst) error
 	rec = func(step int, s term.Subst) error {
 		if step == len(order) {
+			if lc != nil {
+				lc.fires++
+			}
 			return emit(s)
 		}
 		li := order[step]
 		lit := rr.Body[li]
+		if lc != nil {
+			lc.in[li]++
+		}
 		if lit.Negated {
 			ok, err := e.negationHolds(lit, s, r)
 			if err != nil {
@@ -594,6 +743,9 @@ func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.R
 			}
 			if !ok {
 				return nil
+			}
+			if lc != nil {
+				lc.out[li]++
 			}
 			return rec(step+1, s)
 		}
@@ -604,6 +756,9 @@ func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.R
 					return fmt.Errorf("%w: %s in %s", ErrUnsafe, lit.Resolve(s), r)
 				}
 				return err
+			}
+			if lc != nil {
+				lc.out[li] += int64(len(sols))
 			}
 			for _, sol := range sols {
 				if err := rec(step+1, sol); err != nil {
@@ -661,6 +816,9 @@ func (e *Engine) eval(r program.Rule, order []int, deltas map[string]*relation.R
 			}
 			if !ok {
 				return nil
+			}
+			if lc != nil {
+				lc.out[li]++
 			}
 			return rec(step+1, sol)
 		}

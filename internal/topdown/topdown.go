@@ -23,6 +23,7 @@ import (
 	"chainsplit/internal/everr"
 	"chainsplit/internal/faultinject"
 	"chainsplit/internal/limits"
+	"chainsplit/internal/obsv"
 	"chainsplit/internal/program"
 	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
@@ -51,6 +52,9 @@ type Options struct {
 	// MaxPasses bounds QSQR fixpoint passes
 	// (0 = limits.DefaultMaxPasses).
 	MaxPasses int
+	// Tracer, when non-nil, receives one structured event per QSQR
+	// fixpoint pass (obsv.PhaseRound). A nil tracer costs nothing.
+	Tracer *obsv.Tracer
 }
 
 func (o Options) maxSteps() int {
@@ -190,6 +194,7 @@ func (e *Engine) SolveConjunction(goals []program.Atom) ([]term.Subst, error) {
 			return nil, fmt.Errorf("%w: %d fixpoint passes", ErrBudget, pass)
 		}
 		e.stats.Passes++
+		e.opts.Tracer.Point(obsv.PhaseRound, "qsqr", int64(e.stats.Passes), int64(e.stats.Steps))
 		e.curPass++
 		e.sawPartial = false
 		e.newAnswers = false

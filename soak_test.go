@@ -153,6 +153,7 @@ func TestChaosSoak(t *testing.T) {
 				if rng.Intn(3) == 0 {
 					opts = append(opts, WithRetry(RetryPolicy{
 						MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0.5,
+						Seed: rng.Int63(),
 					}))
 				}
 				switch rng.Intn(4) {
