@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet staticcheck race bench bench-smoke
+.PHONY: build test check vet staticcheck race bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,11 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=10x ./internal/relation/ ./internal/term/
 	$(GO) run ./cmd/benchtab -exp C2 -quick -json /tmp/chainsplit-bench
+
+# Short continuous-fuzz pass over the parser entry points (the seed
+# corpora under internal/lang/testdata/fuzz run in every ordinary
+# `go test`; this actually mutates for 30s each). New crashers land in
+# testdata/fuzz — commit them as regression seeds.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/lang/
+	$(GO) test -run='^$$' -fuzz='^FuzzParseTerm$$' -fuzztime=30s ./internal/lang/

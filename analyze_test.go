@@ -17,7 +17,10 @@ import (
 
 func scsgDB(t *testing.T, workers int) *DB {
 	t.Helper()
-	db := OpenWith(Config{Workers: workers})
+	db, err := OpenWith(Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := db.Exec(workload.SCSGRules()); err != nil {
 		t.Fatal(err)
 	}

@@ -66,6 +66,7 @@ import (
 	"chainsplit/internal/program"
 	"chainsplit/internal/retry"
 	"chainsplit/internal/term"
+	"chainsplit/internal/wal"
 )
 
 // Term is a value of the term algebra: symbolic constants, integers,
@@ -247,22 +248,70 @@ type Config struct {
 	// and Workers compose: the server runs at most MaxConcurrent
 	// evaluations, each using up to Workers goroutines.
 	Workers int
+	// Dir, when non-empty, makes the database durable: every mutation
+	// is appended to a checksummed write-ahead log under Dir (and
+	// fsynced) before it is published, periodic compacted snapshots
+	// bound the log, and opening the same Dir again recovers exactly
+	// the last durable generation — or fails with an error matching
+	// ErrCorrupt, never a torn state. Empty means in-memory (the
+	// default, unchanged).
+	Dir string
+	// SnapshotEvery is the number of mutations between automatic
+	// compacted snapshots of a durable database (0 = default 256,
+	// negative = never; Checkpoint still works). Ignored without Dir.
+	SnapshotEvery int
 }
 
-// Open returns an empty database with default serving limits.
-func Open() *DB { return OpenWith(Config{}) }
+// Open returns an empty in-memory database with default serving
+// limits. It never fails; durability is opted into with OpenDir or
+// Config.Dir.
+func Open() *DB {
+	db, err := OpenWith(Config{})
+	if err != nil {
+		// Unreachable: only durable opens can fail.
+		panic(err)
+	}
+	return db
+}
 
-// OpenWith returns an empty database with explicit serving limits.
-func OpenWith(cfg Config) *DB {
+// OpenDir opens (or creates) a durable database rooted at dir with
+// default serving limits, recovering whatever state is on disk. See
+// Config.Dir for the durability contract.
+func OpenDir(dir string) (*DB, error) {
+	return OpenWith(Config{Dir: dir})
+}
+
+// OpenWith returns a database with explicit serving limits, durable
+// if cfg.Dir is set. Recovery failures (I/O errors, or corruption —
+// match with ErrCorrupt) are returned before any state is visible.
+func OpenWith(cfg Config) (*DB, error) {
+	inner := core.NewDB()
+	if cfg.Dir != "" {
+		var err error
+		inner, err = core.OpenDir(cfg.Dir, wal.Options{SnapshotEvery: cfg.SnapshotEvery})
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &DB{
-		inner:   core.NewDB(),
+		inner:   inner,
 		workers: cfg.Workers,
 		adm: admission.New(admission.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			MaxQueue:      cfg.MaxQueue,
 		}),
-	}
+	}, nil
 }
+
+// Close flushes and closes a durable database's log. Pinned queries
+// already running keep their snapshot; later mutations fail. Closing
+// an in-memory database is a no-op.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Checkpoint writes a compacted snapshot of the current generation and
+// prunes the write-ahead log history it supersedes. A no-op for
+// in-memory databases.
+func (db *DB) Checkpoint() error { return db.inner.Checkpoint() }
 
 // ServerStats is a snapshot of the serving layer's admission counters;
 // see Stats.
@@ -304,8 +353,7 @@ func (db *DB) Exec(src string) (err error) {
 	if len(res.Queries) > 0 {
 		return fmt.Errorf("chainsplit: Exec source contains a query (%s); use Query", res.Queries[0])
 	}
-	db.inner.Load(res.Program)
-	return nil
+	return db.inner.Load(res.Program)
 }
 
 // LoadFacts bulk-loads ground tuples into an extensional relation

@@ -10,6 +10,7 @@
 //	benchtab -quick       # smaller workloads (sanity pass)
 //	benchtab -timeout 2m  # bound the whole run (typed error on expiry)
 //	benchtab -parallel 8  # client concurrency for C1 (default GOMAXPROCS)
+//	benchtab -exp C5      # durability: WAL cost, compaction, recovery fidelity
 //	benchtab -json .      # record perf experiments as BENCH_<ID>.json files
 //	benchtab -workers 4   # per-query fixpoint parallelism (results unchanged)
 //	benchtab -metrics     # print the process metrics snapshot after the run

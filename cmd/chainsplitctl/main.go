@@ -12,9 +12,17 @@
 //	chainsplitctl -timeout 500ms -q '…' …      # bound query wall-clock time
 //	chainsplitctl -max-tuples 100000 -q '…' …  # bound derived tuples
 //	chainsplitctl -concurrency 4 -i prog.dl    # cap in-flight queries
+//	chainsplitctl -dir ./data prog.dl          # durable database (WAL + snapshots)
+//	chainsplitctl -dir ./data -fsck            # offline integrity check, no open
 //
-// When -timeout, the tuple budget, or admission control stops a query,
-// the command prints a one-line diagnostic and exits with status 2.
+// Exit codes (documented in docs/robustness.md):
+//
+//	0  success
+//	1  usage error or program/fact load failure
+//	2  a limit stopped the query: -timeout, the -max-tuples budget, or
+//	   admission-control load shedding
+//	3  durable-state corruption: the store under -dir failed to open
+//	   (recovery found state it cannot trust) or -fsck found problems
 package main
 
 import (
@@ -55,7 +63,24 @@ func main() {
 	maxTuples := flag.Int("max-tuples", 0, "bound on evaluation effort per query (derived tuples, resolution steps, buffered answers); 0 keeps the defaults")
 	concurrency := flag.Int("concurrency", 0, "max in-flight queries before load shedding; 0 keeps the default")
 	workers := flag.Int("workers", 0, "goroutines per bottom-up fixpoint round (results identical to serial); 0 or 1 means serial")
+	dir := flag.String("dir", "", "durable database directory (write-ahead log + snapshots); empty means in-memory")
+	fsck := flag.Bool("fsck", false, "validate the durable store under -dir (checksums, term-ID integrity, generation monotonicity) and exit; 0 clean, 3 corrupt")
 	flag.Parse()
+
+	if *fsck {
+		if *dir == "" {
+			fail("-fsck needs -dir")
+		}
+		report, ok, err := chainsplit.Fsck(*dir)
+		if err != nil {
+			fail("fsck: %v", err)
+		}
+		fmt.Print(report)
+		if !ok {
+			os.Exit(3)
+		}
+		return
+	}
 
 	strat, ok := strategies[*strategyName]
 	if !ok {
@@ -74,7 +99,18 @@ func main() {
 		fail("negative -workers %d (use 0 or 1 for serial)", *workers)
 	}
 
-	db := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: *concurrency, Workers: *workers})
+	db, err := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: *concurrency, Workers: *workers, Dir: *dir})
+	if err != nil {
+		// Corruption gets its own exit code: "the store is damaged" is
+		// actionable (restore a backup, run -fsck) in a way "bad flag"
+		// is not.
+		if errors.Is(err, chainsplit.ErrCorrupt) {
+			fmt.Fprintf(os.Stderr, "chainsplitctl: %v\n", err)
+			os.Exit(3)
+		}
+		fail("%v", err)
+	}
+	defer db.Close()
 	var embedded []string
 	for _, path := range flag.Args() {
 		var data []byte

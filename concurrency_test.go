@@ -195,7 +195,10 @@ func TestSnapshotIsolationNoTornBatches(t *testing.T) {
 // second concurrent query is shed with ErrOverloaded delivered as a
 // structured *EvalError from the admission layer.
 func TestAdmissionShedsAtCapacity(t *testing.T) {
-	db := OpenWith(Config{MaxConcurrent: 1, MaxQueue: -1})
+	db, err := OpenWith(Config{MaxConcurrent: 1, MaxQueue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mustExec(t, db, cyclicTravelSrc)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -217,7 +220,7 @@ func TestAdmissionShedsAtCapacity(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	_, err := db.Query("?- travel(L, a, DT, A, AT, F).", WithLimit(1))
+	_, err = db.Query("?- travel(L, a, DT, A, AT, F).", WithLimit(1))
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
@@ -237,7 +240,10 @@ func TestAdmissionShedsAtCapacity(t *testing.T) {
 // TestAdmissionQueuedQueryRuns: a query that has to wait for a slot
 // runs once the slot frees and reports its queue time.
 func TestAdmissionQueuedQueryRuns(t *testing.T) {
-	db := OpenWith(Config{MaxConcurrent: 1, MaxQueue: 4})
+	db, err := OpenWith(Config{MaxConcurrent: 1, MaxQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mustExec(t, db, finiteTCSrc+cyclicTravelSrc)
 
 	ctx, cancel := context.WithCancel(context.Background())

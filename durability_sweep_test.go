@@ -1,0 +1,378 @@
+package chainsplit
+
+// Crash-recovery sweep: for sg, scsg and travel workloads, a durable
+// database is grown mutation by mutation, then the log is truncated
+// and corrupted at and around every record boundary. Each damaged
+// store must either open to exactly some durable prefix of the
+// mutation history — with answers bit-identical to an in-memory
+// reference database built from that same prefix — or refuse to open
+// with an error matching ErrCorrupt. There is no third outcome: no
+// panic, no torn state, no silently wrong answers. Run under -race
+// this also checks recovery's replay machinery for data races.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/term"
+	"chainsplit/internal/wal"
+)
+
+// mutation is one durable step: a program exec or a bulk fact batch.
+type mutation struct {
+	src    string
+	pred   string
+	tuples [][]term.Term
+}
+
+func (m mutation) apply(db *core.DB) error {
+	if m.src != "" {
+		res, err := lang.Parse(m.src)
+		if err != nil {
+			return err
+		}
+		return db.Load(res.Program)
+	}
+	return db.LoadTuples(m.pred, m.tuples)
+}
+
+// sweepMutations turns a determinism case into a mutation list:
+// rules first, then the facts in small batches alternating between
+// the exec path (logged as program text) and the bulk path (logged as
+// dictionary-delta fact records), so the sweep exercises both replay
+// decoders.
+func sweepMutations(c detCase) []mutation {
+	muts := []mutation{{src: c.rules}}
+	if c.facts == nil {
+		return muts
+	}
+	const batch = 8
+	facts := c.facts.Facts
+	group := 0
+	for lo := 0; lo < len(facts); {
+		// A bulk batch must be single-predicate; extend while the
+		// predicate matches, up to the batch size.
+		hi := lo + 1
+		for hi < len(facts) && hi-lo < batch && facts[hi].Pred == facts[lo].Pred {
+			hi++
+		}
+		if group%3 == 2 {
+			muts = append(muts, mutation{src: (&program.Program{Facts: facts[lo:hi]}).String()})
+		} else {
+			tuples := make([][]term.Term, hi-lo)
+			for i, f := range facts[lo:hi] {
+				tuples[i] = f.Args
+			}
+			muts = append(muts, mutation{pred: facts[lo].Pred, tuples: tuples})
+		}
+		group++
+		lo = hi
+	}
+	return muts
+}
+
+// referenceAnswers builds in-memory reference databases for every
+// mutation prefix and returns the canonical answers per prefix
+// (prefix g = the first g mutations = durable generation g). The
+// query is unanswerable before the rules load, so prefix 0 maps to
+// the empty string.
+func referenceAnswers(t *testing.T, c detCase, muts []mutation) []string {
+	t.Helper()
+	answers := make([]string, len(muts)+1)
+	db := core.NewDB()
+	for g := 1; g <= len(muts); g++ {
+		if err := muts[g-1].apply(db); err != nil {
+			t.Fatalf("reference mutation %d: %v", g, err)
+		}
+		res, err := db.Query(c.goals, core.Options{MaxTuples: 200_000, MaxIterations: 10_000})
+		if err != nil {
+			t.Fatalf("reference query at prefix %d: %v", g, err)
+		}
+		answers[g] = renderSorted(res)
+	}
+	return answers
+}
+
+// buildDurable applies the mutations to a fresh durable store.
+// Snapshots are disabled so every record stays in one segment and the
+// sweep can damage each of them.
+func buildDurable(t *testing.T, dir string, muts []mutation) {
+	t.Helper()
+	db, err := core.OpenDir(dir, wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range muts {
+		if err := m.apply(db); err != nil {
+			t.Fatalf("mutation %d: %v", i+1, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cloneDir copies a store directory so each sweep point damages a
+// fresh copy.
+func cloneDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", segs, err)
+	}
+	return segs[0]
+}
+
+// flipByteInLastRecord flips one payload bit in the final record of a
+// segment (shared with durability_test.go).
+func flipByteInLastRecord(t *testing.T, seg string) {
+	t.Helper()
+	offsets, _, err := wal.RecordOffsets(seg)
+	if err != nil || len(offsets) == 0 {
+		t.Fatalf("RecordOffsets: %v %v", offsets, err)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offsets[len(offsets)-1]+12] ^= 0x20
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkRecovered opens a damaged store and enforces the sweep
+// invariant: ErrCorrupt, or a database whose generation g is a valid
+// prefix length and whose answers are bit-identical to the reference
+// at prefix g. wantGen ≥ 0 pins the exact prefix; wantGen == -1
+// accepts any prefix (bit-flip cases where the damage may or may not
+// masquerade as a torn tail); wantGen == -2 requires the open to
+// refuse with ErrCorrupt.
+func checkRecovered(t *testing.T, dir string, c detCase, refs []string, wantGen int64) {
+	t.Helper()
+	db, err := core.OpenDir(dir, wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		if !errors.Is(err, wal.ErrCorrupt) {
+			t.Fatalf("open failed without ErrCorrupt: %v", err)
+		}
+		return
+	}
+	if wantGen == -2 {
+		db.Close()
+		t.Fatal("open of an unrecoverable store succeeded")
+	}
+	defer db.Close()
+	g := db.Generation()
+	if g > uint64(len(refs)-1) {
+		t.Fatalf("recovered generation %d past the %d durable mutations", g, len(refs)-1)
+	}
+	if wantGen >= 0 && g != uint64(wantGen) {
+		t.Fatalf("recovered generation %d, want %d", g, wantGen)
+	}
+	if g == 0 {
+		return // empty store: nothing to query
+	}
+	res, err := db.Query(c.goals, core.Options{MaxTuples: 200_000, MaxIterations: 10_000})
+	if err != nil {
+		t.Fatalf("query at recovered generation %d: %v", g, err)
+	}
+	if got := renderSorted(res); got != refs[g] {
+		t.Fatalf("answers at recovered generation %d diverge from the reference:\n got: %.200s\nwant: %.200s", g, got, refs[g])
+	}
+}
+
+// TestCrashRecoverySweep is the torn-write sweep from the acceptance
+// criteria: truncation at every record boundary, truncation
+// mid-record after every boundary, and a bit flip inside every
+// record, for three workload families.
+func TestCrashRecoverySweep(t *testing.T) {
+	cases := detCases(t)
+	byName := map[string]detCase{}
+	for _, c := range cases {
+		byName[c.name] = c
+	}
+	for _, name := range []string{"sg", "scsg", "travel"} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("determinism case %s missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			muts := sweepMutations(c)
+			refs := referenceAnswers(t, c, muts)
+			pristine := filepath.Join(t.TempDir(), "pristine")
+			buildDurable(t, pristine, muts)
+			seg := onlySegment(t, pristine)
+			offsets, end, err := wal.RecordOffsets(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(offsets) != len(muts) {
+				t.Fatalf("%d records for %d mutations", len(offsets), len(muts))
+			}
+
+			scratch := t.TempDir()
+			caseNo := 0
+			damage := func(f func(dir, seg string), wantGen int64) {
+				t.Helper()
+				dir := filepath.Join(scratch, fmt.Sprintf("d%d", caseNo))
+				caseNo++
+				cloneDir(t, pristine, dir)
+				f(dir, onlySegment(t, dir))
+				checkRecovered(t, dir, c, refs, wantGen)
+				os.RemoveAll(dir)
+			}
+
+			for i, off := range offsets {
+				i, off := i, off
+				// Clean truncation at the boundary: exactly the first
+				// i records survive.
+				damage(func(dir, seg string) {
+					if err := os.Truncate(seg, off); err != nil {
+						t.Fatal(err)
+					}
+				}, int64(i))
+				// Torn append: a few bytes of record i+1 made it to
+				// disk. Recovery drops the tail, keeping i records.
+				damage(func(dir, seg string) {
+					if err := os.Truncate(seg, off+5); err != nil {
+						t.Fatal(err)
+					}
+				}, int64(i))
+				// Bit flip inside record i+1's payload: a complete
+				// frame with a bad checksum, corrupt wherever it sits.
+				damage(func(dir, seg string) {
+					data, err := os.ReadFile(seg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data[off+12] ^= 0x08
+					if err := os.WriteFile(seg, data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}, -1)
+			}
+			// Truncation inside the final record and at the exact end.
+			damage(func(dir, seg string) {
+				if err := os.Truncate(seg, end-1); err != nil {
+					t.Fatal(err)
+				}
+			}, int64(len(offsets)-1))
+			damage(func(dir, seg string) {}, int64(len(offsets)))
+			// Zero-filled tail after the last record: a crash artifact
+			// some filesystems produce; recovery treats it as torn.
+			damage(func(dir, seg string) {
+				f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write(make([]byte, 64)); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}, int64(len(offsets)))
+		})
+	}
+}
+
+// TestSweepWithSnapshots repeats a smaller sweep against a store that
+// has compacted: damage past the snapshot must cost only the log
+// suffix; a damaged snapshot with a pruned log must refuse to open.
+func TestSweepWithSnapshots(t *testing.T) {
+	c := detCases(t)[0] // sg
+	muts := sweepMutations(c)
+	refs := referenceAnswers(t, c, muts)
+
+	pristine := filepath.Join(t.TempDir(), "pristine")
+	db, err := core.OpenDir(pristine, wal.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(muts) / 2
+	for i, m := range muts {
+		if err := m.apply(db); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 == mid {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	scratch := t.TempDir()
+	caseNo := 0
+	damage := func(f func(dir string), wantGen int64) {
+		t.Helper()
+		dir := filepath.Join(scratch, fmt.Sprintf("d%d", caseNo))
+		caseNo++
+		cloneDir(t, pristine, dir)
+		f(dir)
+		checkRecovered(t, dir, c, refs, wantGen)
+		os.RemoveAll(dir)
+	}
+
+	seg := onlySegment(t, pristine)
+	offsets, _, err := wal.RecordOffsets(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != len(muts)-mid {
+		t.Fatalf("%d post-snapshot records, want %d", len(offsets), len(muts)-mid)
+	}
+	segName := filepath.Base(seg)
+	for i, off := range offsets {
+		off := off
+		// Truncation at each post-snapshot boundary: the snapshot plus
+		// i replayed records survive.
+		damage(func(dir string) {
+			if err := os.Truncate(filepath.Join(dir, segName), off); err != nil {
+				t.Fatal(err)
+			}
+		}, int64(mid+i))
+	}
+	// Damaged snapshot with the pre-snapshot log pruned: recovery has
+	// nothing consistent to build on and must refuse.
+	damage(func(dir string) {
+		snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.csdb"))
+		if err != nil || len(snaps) != 1 {
+			t.Fatalf("snapshots: %v (%v)", snaps, err)
+		}
+		data, err := os.ReadFile(snaps[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x04
+		if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}, -2)
+}

@@ -3,6 +3,7 @@ package chainsplit
 import (
 	"chainsplit/internal/core"
 	"chainsplit/internal/everr"
+	"chainsplit/internal/wal"
 )
 
 // The evaluation error taxonomy. Every failure returned by Query /
@@ -29,6 +30,30 @@ var (
 	ErrPanic      = everr.ErrPanic
 	ErrOverloaded = everr.ErrOverloaded
 )
+
+// ErrCorrupt matches (errors.Is) every failure caused by invalid
+// durable state when opening a database with OpenDir/Config.Dir:
+// checksum mismatches, truncated or duplicated log records, dangling
+// interned-term IDs, non-monotonic generations, unparseable logged
+// programs. A store that cannot recover to a consistent generation
+// refuses to open — recovery never guesses at state. (A torn tail —
+// the unfinished final append of a crash — is not corruption; it is
+// detected and dropped.)
+var ErrCorrupt = wal.ErrCorrupt
+
+// Fsck validates the durable store under dir without modifying it:
+// frame checksums, snapshot integrity, term-ID referential integrity,
+// generation monotonicity and contiguity, snapshot-to-log coverage.
+// It returns a human-readable report and whether the store is clean;
+// err is non-nil only for I/O failures reading the directory itself.
+// Unlike recovery, fsck is strict: a torn tail is reported too.
+func Fsck(dir string) (report string, ok bool, err error) {
+	rep, err := wal.Fsck(dir)
+	if err != nil {
+		return "", false, err
+	}
+	return rep.String(), rep.OK(), nil
+}
 
 // EvalError is the structured failure attached to every evaluation
 // error: the strategy that was running, the queried predicate, the

@@ -46,6 +46,7 @@ import (
 	"chainsplit/internal/seminaive"
 	"chainsplit/internal/term"
 	"chainsplit/internal/topdown"
+	"chainsplit/internal/wal"
 )
 
 // Strategy selects an evaluation method.
@@ -277,6 +278,14 @@ type Result struct {
 type DB struct {
 	writeMu sync.Mutex
 	gen     atomic.Pointer[generation]
+
+	// store is the write-ahead log backing this database, nil for the
+	// in-memory default. Guarded by writeMu: only mutators touch it.
+	// When set, every mutation is framed, checksummed and fsynced
+	// *before* its generation is published — a crash after Append
+	// replays the mutation on reopen; a crash before it returns an
+	// error to the caller and publishes nothing.
+	store *wal.Store
 }
 
 // generation is one immutable database state: the programs, the EDB
@@ -350,7 +359,12 @@ func (db *DB) publish(next *generation) {
 // concurrently with queries; in-flight queries keep evaluating against
 // the generation they pinned. Analyses are recomputed on the next
 // query after a rule change.
-func (db *DB) Load(p *program.Program) {
+//
+// On a durable database the rendered program is logged to the
+// write-ahead log before the generation is published; a logging
+// failure returns an error and leaves the database unchanged. The
+// in-memory default never fails.
+func (db *DB) Load(p *program.Program) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	cur := db.current()
@@ -360,16 +374,28 @@ func (db *DB) Load(p *program.Program) {
 		next.prog.Rules = append(next.prog.Rules, program.RectifyRule(r))
 	}
 	for _, f := range p.Facts {
-		next.source.Facts = append(next.source.Facts, f)
-		next.prog.Facts = append(next.prog.Facts, f)
-		next.cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args))
+		// Insert reports whether the tuple is new; a duplicate fact
+		// must not accumulate another Facts entry, or re-loading the
+		// same program would grow the fact lists (and every semi-naive
+		// seed built from them) without bound.
+		if next.cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args)) {
+			next.source.Facts = append(next.source.Facts, f)
+			next.prog.Facts = append(next.prog.Facts, f)
+		}
 	}
 	next.source.Pragmas = append(next.source.Pragmas, p.Pragmas...)
 	next.prog.Pragmas = append(next.prog.Pragmas, p.Pragmas...)
 	if len(p.Rules) == 0 {
 		next.analysis = cur.peekAnalysis()
 	}
+	if db.store != nil {
+		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecExec, Src: p.String()}); err != nil {
+			return fmt.Errorf("core: durable log append failed, load not applied: %w", err)
+		}
+	}
 	db.publish(next)
+	db.maybeSnapshotLocked(next)
+	return nil
 }
 
 // analysisFor returns the generation's adornment analysis, building it
@@ -623,11 +649,24 @@ func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 	next.analysis = cur.peekAnalysis() // fact-only: finiteness unchanged
 	rel := next.cat.Ensure(pred, arity)
 	for _, tup := range tuples {
-		rel.Insert(relation.Tuple(tup))
-		next.prog.Facts = append(next.prog.Facts, program.Atom{Pred: pred, Args: tup})
-		next.source.Facts = append(next.source.Facts, program.Atom{Pred: pred, Args: tup})
+		// Only fresh inserts earn a Facts entry: re-loading a batch
+		// must be idempotent, not accumulate duplicate fact atoms.
+		if rel.Insert(relation.Tuple(tup)) {
+			next.prog.Facts = append(next.prog.Facts, program.Atom{Pred: pred, Args: tup})
+			next.source.Facts = append(next.source.Facts, program.Atom{Pred: pred, Args: tup})
+		}
+	}
+	if db.store != nil {
+		wt := make([]relation.Tuple, len(tuples))
+		for i, tup := range tuples {
+			wt[i] = relation.Tuple(tup)
+		}
+		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecFacts, Pred: pred, Tuples: wt}); err != nil {
+			return fmt.Errorf("core: durable log append failed, batch not applied: %w", err)
+		}
 	}
 	db.publish(next)
+	db.maybeSnapshotLocked(next)
 	return nil
 }
 

@@ -1,0 +1,90 @@
+package core
+
+// Regression tests for duplicate-fact accumulation: re-loading a
+// program (or a fact batch) whose tuples are already present must not
+// grow Program().Facts / Source().Facts, or every semi-naive seed
+// built from them would grow without bound across re-loads.
+
+import (
+	"testing"
+
+	"chainsplit/internal/lang"
+	"chainsplit/internal/term"
+)
+
+func factCounts(t *testing.T, db *DB) (prog, source int) {
+	t.Helper()
+	return len(db.Program().Facts), len(db.Source().Facts)
+}
+
+func TestReloadDoesNotAccumulateFacts(t *testing.T) {
+	db := NewDB()
+	src := "p(X) :- e(X).\ne(1). e(2). e(3)."
+	res, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	prog1, src1 := factCounts(t, db)
+	if prog1 != 3 || src1 != 3 {
+		t.Fatalf("first load: %d/%d facts, want 3/3", prog1, src1)
+	}
+	ans1 := ask(t, db, "?- p(X).", Options{})
+
+	// The whole program again: every fact is a duplicate. Rules do
+	// accumulate (Load is additive for rules), but facts must not.
+	res2, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load(res2.Program); err != nil {
+		t.Fatal(err)
+	}
+	prog2, src2 := factCounts(t, db)
+	if prog2 != prog1 || src2 != src1 {
+		t.Fatalf("re-load grew facts: %d/%d, want %d/%d", prog2, src2, prog1, src1)
+	}
+	ans2 := ask(t, db, "?- p(X).", Options{})
+	if len(ans2.Answers) != len(ans1.Answers) {
+		t.Fatalf("answers changed after idempotent re-load: %d, want %d", len(ans2.Answers), len(ans1.Answers))
+	}
+}
+
+func TestLoadTuplesDeduplicates(t *testing.T) {
+	db := NewDB()
+	batch := [][]term.Term{
+		{term.NewSym("a"), term.NewInt(1)},
+		{term.NewSym("b"), term.NewInt(2)},
+		{term.NewSym("a"), term.NewInt(1)}, // duplicate inside one batch
+	}
+	if err := db.LoadTuples("edge", batch); err != nil {
+		t.Fatal(err)
+	}
+	prog1, src1 := factCounts(t, db)
+	if prog1 != 2 || src1 != 2 {
+		t.Fatalf("batch with an internal duplicate: %d/%d facts, want 2/2", prog1, src1)
+	}
+
+	// The same batch again: fully idempotent.
+	if err := db.LoadTuples("edge", batch); err != nil {
+		t.Fatal(err)
+	}
+	prog2, src2 := factCounts(t, db)
+	if prog2 != 2 || src2 != 2 {
+		t.Fatalf("re-load of the same batch grew facts: %d/%d, want 2/2", prog2, src2)
+	}
+
+	// A mixed batch: only the genuinely new tuple lands.
+	if err := db.LoadTuples("edge", [][]term.Term{
+		{term.NewSym("a"), term.NewInt(1)},
+		{term.NewSym("c"), term.NewInt(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	prog3, src3 := factCounts(t, db)
+	if prog3 != 3 || src3 != 3 {
+		t.Fatalf("mixed batch: %d/%d facts, want 3/3", prog3, src3)
+	}
+}

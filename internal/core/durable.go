@@ -1,0 +1,182 @@
+package core
+
+// Durable databases: the glue between the copy-on-write generation
+// machinery and the write-ahead log (internal/wal).
+//
+// The invariant is publish-after-log: a mutation's WAL record is
+// framed, checksummed and fsynced before the generation carrying it is
+// installed, so the durable log is always at or ahead of the published
+// state and recovery can only ever land on a generation some caller
+// was told exists. Replay goes back through the very same Load /
+// LoadTuples code paths (with logging disabled), which is what makes
+// recovered databases bit-identical to the originals: rectification,
+// duplicate-fact suppression, relation insertion order and fact-list
+// order are all reproduced by construction rather than re-implemented.
+
+import (
+	"fmt"
+	"strings"
+
+	"chainsplit/internal/lang"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
+	"chainsplit/internal/term"
+	"chainsplit/internal/wal"
+)
+
+// OpenDir opens (or creates) a durable database rooted at dir,
+// recovering the last durable generation: the latest valid snapshot
+// plus a replay of the contiguous WAL suffix past it. A torn tail —
+// the unfinished append a crash leaves — is dropped; any other
+// inconsistency refuses to open with an error matching wal.ErrCorrupt.
+func OpenDir(dir string, opts wal.Options) (*DB, error) {
+	store, rec, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	if rec.Snapshot != nil {
+		if err := db.applySnapshot(rec.Snapshot); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	for _, r := range rec.Records {
+		if err := db.applyRecord(r); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	if got := db.Generation(); got != rec.LastSeq {
+		store.Close()
+		return nil, fmt.Errorf("%w: replay reached generation %d, log promises %d", wal.ErrCorrupt, got, rec.LastSeq)
+	}
+	db.writeMu.Lock()
+	db.store = store
+	db.writeMu.Unlock()
+	return db, nil
+}
+
+// applySnapshot installs a compacted snapshot as one generation with
+// the snapshot's sequence number. Rules and pragmas come back through
+// the parser; the fact stream is applied in its original global order,
+// which reproduces both the fact lists and every relation's insertion
+// order exactly.
+func (db *DB) applySnapshot(snap *wal.Snapshot) error {
+	p := &program.Program{}
+	if strings.TrimSpace(snap.Rules) != "" {
+		res, err := lang.Parse(snap.Rules)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot rules do not parse: %v", wal.ErrCorrupt, err)
+		}
+		p = res.Program
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	cur := db.current()
+	if cur.seq != 0 {
+		return fmt.Errorf("core: snapshot applied to a non-empty database (generation %d)", cur.seq)
+	}
+	next := cur.evolve()
+	next.seq = snap.Seq
+	for _, r := range p.Rules {
+		next.source.Rules = append(next.source.Rules, r)
+		next.prog.Rules = append(next.prog.Rules, program.RectifyRule(r))
+	}
+	next.source.Pragmas = append(next.source.Pragmas, p.Pragmas...)
+	next.prog.Pragmas = append(next.prog.Pragmas, p.Pragmas...)
+	for _, fr := range snap.Facts {
+		rel := next.cat.Get(fr.Pred)
+		if rel != nil && rel.Arity() != len(fr.Tuple) {
+			return fmt.Errorf("%w: snapshot fact %s has arity %d, relation has %d", wal.ErrCorrupt, fr.Pred, len(fr.Tuple), rel.Arity())
+		}
+		f := program.Atom{Pred: fr.Pred, Args: fr.Tuple}
+		if next.cat.Ensure(fr.Pred, len(fr.Tuple)).Insert(relation.Tuple(fr.Tuple)) {
+			next.source.Facts = append(next.source.Facts, f)
+			next.prog.Facts = append(next.prog.Facts, f)
+		}
+	}
+	db.publish(next)
+	return nil
+}
+
+// applyRecord replays one WAL record through the ordinary mutation
+// paths (db.store is still nil during replay, so nothing is re-logged)
+// and verifies the generation advanced to exactly the record's
+// sequence number.
+func (db *DB) applyRecord(r wal.Record) error {
+	switch r.Type {
+	case wal.RecExec:
+		res, err := lang.Parse(r.Src)
+		if err != nil {
+			return fmt.Errorf("%w: logged program does not parse: %v", wal.ErrCorrupt, err)
+		}
+		if err := db.Load(res.Program); err != nil {
+			return err
+		}
+	case wal.RecFacts:
+		tuples := make([][]term.Term, len(r.Tuples))
+		for i, t := range r.Tuples {
+			tuples[i] = []term.Term(t)
+		}
+		if err := db.LoadTuples(r.Pred, tuples); err != nil {
+			return fmt.Errorf("%w: logged fact batch rejected: %v", wal.ErrCorrupt, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown record type %d", wal.ErrCorrupt, r.Type)
+	}
+	if got := db.Generation(); got != r.Seq {
+		return fmt.Errorf("%w: replaying record %d left the database at generation %d", wal.ErrCorrupt, r.Seq, got)
+	}
+	return nil
+}
+
+// snapshotOf renders a generation as a compacted snapshot: the
+// accumulated rules and pragmas as parseable source (facts excluded —
+// they travel in the fact stream, preserving global order).
+func snapshotOf(g *generation) *wal.Snapshot {
+	rp := &program.Program{Rules: g.source.Rules, Pragmas: g.source.Pragmas}
+	facts := make([]wal.FactRow, len(g.source.Facts))
+	for i, f := range g.source.Facts {
+		facts[i] = wal.FactRow{Pred: f.Pred, Tuple: relation.Tuple(f.Args)}
+	}
+	return &wal.Snapshot{Seq: g.seq, Rules: rp.String(), Facts: facts}
+}
+
+// maybeSnapshotLocked compacts if the store's cadence says one is due.
+// Best-effort: the log remains authoritative, so a failed automatic
+// compaction costs replay time on the next open, never data. Callers
+// hold writeMu.
+func (db *DB) maybeSnapshotLocked(g *generation) {
+	if db.store == nil || !db.store.SnapshotDue() {
+		return
+	}
+	_ = db.store.WriteSnapshot(snapshotOf(g))
+}
+
+// Checkpoint writes a compacted snapshot of the current generation and
+// prunes the log history it supersedes. A no-op without a durable
+// store.
+func (db *DB) Checkpoint() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	return db.store.WriteSnapshot(snapshotOf(db.current()))
+}
+
+// Close flushes and closes the durable store. Queries against already
+// pinned generations keep working; further mutations on a durable
+// database fail. A no-op without a durable store.
+func (db *DB) Close() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	// The store stays attached after Close: its methods report
+	// "store is closed", so later mutations fail loudly instead of
+	// silently downgrading to in-memory.
+	return db.store.Close()
+}

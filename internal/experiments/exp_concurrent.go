@@ -37,7 +37,10 @@ func runC1(cfg Config) error {
 	}
 	clients := cfg.parallel()
 
-	db := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: clients})
+	db, oerr := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: clients})
+	if oerr != nil {
+		return oerr
+	}
 	if err := db.Exec("tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y)."); err != nil {
 		return err
 	}

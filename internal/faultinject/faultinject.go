@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -27,10 +28,32 @@ const (
 	SiteTopdownStep      = "topdown.step"
 )
 
+// The I/O injection sites wired into the durability layer (internal/
+// wal). The data sites (append, read) carry the bytes in flight, so a
+// hook can tear a write short, flip bits, or truncate a read; the sync
+// sites can fail an fsync or lie about it (return ErrSkipOp so the
+// caller skips the real fsync but reports success — the classic
+// firmware lie a recovery path must survive).
+const (
+	SiteWALAppend     = "wal.append"     // bytes of one framed record, pre-write
+	SiteWALRead       = "wal.read"       // bytes of one segment, post-read
+	SiteWALSync       = "wal.sync"       // before fsync of the log file
+	SiteSnapshotWrite = "wal.snapshot"   // bytes of one snapshot file, pre-write
+	SiteStoreOpen     = "wal.store.open" // on Store open, before recovery
+)
+
+// ErrSkipOp, returned by a hook at a sync site, makes the caller skip
+// the real operation while reporting success — an injected "fsync
+// lie". Data already handed to the OS may then be lost on the next
+// simulated crash.
+var ErrSkipOp = errors.New("faultinject: skip the real operation, report success")
+
 var (
 	enabled atomic.Bool
 	mu      sync.Mutex
 	hooks   = make(map[string]func() error)
+	// dataHooks transform bytes in flight at data sites.
+	dataHooks = make(map[string]func([]byte) ([]byte, error))
 )
 
 // Set installs hook f at site (replacing any previous hook) and
@@ -44,12 +67,26 @@ func Set(site string, f func() error) (restore func()) {
 	return func() { Clear(site) }
 }
 
-// Clear removes the hook at site, if any.
+// SetData installs a byte-transforming hook at a data site (replacing
+// any previous one) and returns a restore function. The hook receives
+// the bytes about to be written (or just read) and returns the bytes
+// to use instead — shortened for a torn write or short read, bit-
+// flipped for media corruption — or an error to fail the I/O outright.
+func SetData(site string, f func([]byte) ([]byte, error)) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	dataHooks[site] = f
+	enabled.Store(true)
+	return func() { Clear(site) }
+}
+
+// Clear removes the hook(s) at site, if any.
 func Clear(site string) {
 	mu.Lock()
 	defer mu.Unlock()
 	delete(hooks, site)
-	enabled.Store(len(hooks) > 0)
+	delete(dataHooks, site)
+	enabled.Store(len(hooks) > 0 || len(dataHooks) > 0)
 }
 
 // Reset removes every hook.
@@ -57,6 +94,7 @@ func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	hooks = make(map[string]func() error)
+	dataHooks = make(map[string]func([]byte) ([]byte, error))
 	enabled.Store(false)
 }
 
@@ -73,4 +111,19 @@ func Fire(site string) error {
 		return nil
 	}
 	return f()
+}
+
+// FireData passes data through the hook installed at a data site. With
+// no hook it returns data unchanged at the cost of one atomic load.
+func FireData(site string, data []byte) ([]byte, error) {
+	if !enabled.Load() {
+		return data, nil
+	}
+	mu.Lock()
+	f := dataHooks[site]
+	mu.Unlock()
+	if f == nil {
+		return data, nil
+	}
+	return f(data)
 }

@@ -118,6 +118,18 @@ var (
 	// evaluating items; divided by elapsed wall time it yields the
 	// worker-utilization figure reported in the snapshot docs.
 	WorkerBusyNanos = NewCounter("chainsplit_worker_busy_nanos_total", "cumulative worker-goroutine busy time (ns)")
+
+	// WALAppends counts records appended to write-ahead logs.
+	WALAppends = NewCounter("chainsplit_wal_appends_total", "records appended to write-ahead logs")
+	// WALBytes accumulates framed bytes written to write-ahead logs.
+	WALBytes = NewCounter("chainsplit_wal_bytes_total", "bytes written to write-ahead logs (framing included)")
+	// WALSnapshots counts snapshot files written (compactions).
+	WALSnapshots = NewCounter("chainsplit_wal_snapshots_total", "durable snapshots written")
+	// Recoveries counts successful durable-store opens that replayed
+	// state (a snapshot, WAL records, or both).
+	Recoveries = NewCounter("chainsplit_recoveries_total", "durable stores recovered on open")
+	// ReplayedRecords counts WAL records applied during recovery.
+	ReplayedRecords = NewCounter("chainsplit_wal_replayed_records_total", "WAL records replayed during recovery")
 )
 
 func init() {

@@ -68,6 +68,17 @@ func appendIDKey(dst []byte, t Tuple) ([]byte, bool) {
 	return dst, true
 }
 
+// AppendIDKey appends the fixed-width (8 bytes per column) dictionary
+// codes of every column of t, interning terms on first sight — the
+// same packed encoding the presence set and the hash indexes key on.
+// ok is false if any column is not ground. Durable snapshots and WAL
+// fact records serialize tuple rows in exactly this format, with a
+// dictionary section mapping the non-self-describing IDs back to
+// terms.
+func AppendIDKey(dst []byte, t Tuple) ([]byte, bool) {
+	return appendIDKey(dst, t)
+}
+
 // appendIDKeyOn is appendIDKey restricted to cols.
 func appendIDKeyOn(dst []byte, t Tuple, cols []int) ([]byte, bool) {
 	for _, c := range cols {

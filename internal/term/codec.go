@@ -1,0 +1,164 @@
+package term
+
+// Binary term codec for durable storage. AppendEncode produces a
+// self-contained, versionless encoding of one ground term; Decode
+// reverses it. Unlike appendKey (a hash key: unambiguous but write-
+// only) this encoding is designed to be read back, and unlike the
+// surface syntax it round-trips every representable value — including
+// symbols whose names would not survive print-and-parse (an API caller
+// may build Sym("not an atom") and store it).
+//
+// The wal package uses it for interned-term dictionary entries: each
+// distinct non-small-int ground term that reaches durable storage is
+// encoded exactly once per log segment or snapshot, and tuples then
+// reference terms by fixed-width dictionary IDs (see intern.go for the
+// in-memory analogue).
+//
+// Decode is hardened against corrupt input: every length read is
+// validated against the remaining input before any allocation, and
+// nesting depth is bounded, so a flipped bit yields an error — never a
+// panic, an over-allocation, or unbounded recursion.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoding tags, one per term kind. Variables are not encodable:
+// relations store only ground terms.
+const (
+	codecInt  byte = 0x01 // zigzag varint value
+	codecSym  byte = 0x02 // uvarint length + raw name bytes
+	codecStr  byte = 0x03 // uvarint length + raw value bytes
+	codecComp byte = 0x04 // uvarint functor length + functor + uvarint argc + args
+)
+
+// codecMaxDepth bounds decoder nesting. Encoded input consumes at
+// least two bytes per level, so this also caps work on corrupt data;
+// it comfortably exceeds any list the evaluator can build.
+const codecMaxDepth = 1 << 20
+
+// ErrNotGround reports an attempt to encode a non-ground term.
+var ErrNotGround = errors.New("term: cannot encode non-ground term")
+
+// ErrBadEncoding reports undecodable input (truncated, over-length or
+// unknown-tag bytes — the signature of corruption).
+var ErrBadEncoding = errors.New("term: bad encoding")
+
+// AppendEncode appends the binary encoding of ground term t to dst.
+func AppendEncode(dst []byte, t Term) ([]byte, error) {
+	switch tt := t.(type) {
+	case Int:
+		dst = append(dst, codecInt)
+		return binary.AppendVarint(dst, tt.V), nil
+	case Sym:
+		dst = append(dst, codecSym)
+		dst = binary.AppendUvarint(dst, uint64(len(tt.Name)))
+		return append(dst, tt.Name...), nil
+	case Str:
+		dst = append(dst, codecStr)
+		dst = binary.AppendUvarint(dst, uint64(len(tt.V)))
+		return append(dst, tt.V...), nil
+	case Comp:
+		if !tt.ground {
+			return dst, ErrNotGround
+		}
+		dst = append(dst, codecComp)
+		dst = binary.AppendUvarint(dst, uint64(len(tt.Functor)))
+		dst = append(dst, tt.Functor...)
+		dst = binary.AppendUvarint(dst, uint64(len(tt.Args)))
+		var err error
+		for _, a := range tt.Args {
+			if dst, err = AppendEncode(dst, a); err != nil {
+				return dst, err
+			}
+		}
+		return dst, nil
+	default:
+		return dst, ErrNotGround
+	}
+}
+
+// Decode reads one term from data and returns it with the unconsumed
+// remainder. Errors wrap ErrBadEncoding.
+func Decode(data []byte) (Term, []byte, error) {
+	return decode(data, 0)
+}
+
+// decodeLen reads a uvarint length and checks it against the bytes
+// actually remaining, so corrupt lengths fail before any allocation.
+func decodeLen(data []byte, what string) (int, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated %s length", ErrBadEncoding, what)
+	}
+	rest := data[n:]
+	if v > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: %s length %d exceeds %d remaining bytes", ErrBadEncoding, what, v, len(rest))
+	}
+	return int(v), rest, nil
+}
+
+func decode(data []byte, depth int) (Term, []byte, error) {
+	if depth > codecMaxDepth {
+		return nil, nil, fmt.Errorf("%w: nesting deeper than %d", ErrBadEncoding, codecMaxDepth)
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty input", ErrBadEncoding)
+	}
+	tag, data := data[0], data[1:]
+	switch tag {
+	case codecInt:
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: truncated integer", ErrBadEncoding)
+		}
+		return NewInt(v), data[n:], nil
+	case codecSym:
+		n, rest, err := decodeLen(data, "symbol")
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewSym(string(rest[:n])), rest[n:], nil
+	case codecStr:
+		n, rest, err := decodeLen(data, "string")
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewStr(string(rest[:n])), rest[n:], nil
+	case codecComp:
+		n, rest, err := decodeLen(data, "functor")
+		if err != nil {
+			return nil, nil, err
+		}
+		functor := string(rest[:n])
+		rest = rest[n:]
+		argc, n2 := binary.Uvarint(rest)
+		if n2 <= 0 {
+			return nil, nil, fmt.Errorf("%w: truncated arity", ErrBadEncoding)
+		}
+		rest = rest[n2:]
+		if argc == 0 {
+			return nil, nil, fmt.Errorf("%w: compound with zero arguments", ErrBadEncoding)
+		}
+		// Each argument consumes at least one byte, so argc beyond the
+		// remaining input is corruption, caught before allocating.
+		if argc > uint64(len(rest)) {
+			return nil, nil, fmt.Errorf("%w: arity %d exceeds %d remaining bytes", ErrBadEncoding, argc, len(rest))
+		}
+		args := make([]Term, argc)
+		for i := range args {
+			var err error
+			args[i], rest, err = decode(rest, depth+1)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		// NewComp re-interns the compound, giving it the same
+		// process-wide ID a structurally equal pre-crash term had.
+		return NewComp(functor, args...), rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrBadEncoding, tag)
+	}
+}

@@ -138,6 +138,18 @@ var (
 	bigTab  = newInternTable()
 )
 
+// SmallInt returns the integer value a small-integer ID encodes
+// directly (no dictionary entry exists for such IDs). ok is false for
+// every other tag. Durable storage uses this to decide which term IDs
+// need dictionary entries at all: small integers are self-describing
+// on disk exactly as they are in memory.
+func (id ID) SmallInt() (int64, bool) {
+	if uint64(id)>>idTagShift != tagSmallInt {
+		return 0, false
+	}
+	return int64(uint64(id)&idValMask) - smallIntBias, true
+}
+
 // InternStats reports the dictionary sizes (diagnostics and tests).
 type InternStats struct {
 	Syms, Strs, Comps, BigInts int

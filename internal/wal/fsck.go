@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Report is the result of an integrity check over a store directory.
+type Report struct {
+	Dir string
+	// Checked lists every file examined, in check order.
+	Checked []string
+	// Problems lists every integrity violation found. Empty means the
+	// store is clean. A torn tail on the final segment — the normal
+	// artifact of a crash mid-append, which recovery repairs by
+	// truncation — is still reported here (as a truncated record);
+	// fsck is strict where recovery is lenient.
+	Problems []string
+	// Records is the total count of valid log records seen.
+	Records int
+	// LastSeq is the highest generation reachable from the on-disk
+	// state (0 if none).
+	LastSeq uint64
+}
+
+// OK reports a clean store.
+func (r *Report) OK() bool { return len(r.Problems) == 0 }
+
+func (r *Report) problemf(format string, args ...any) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// String renders the report in the style of fsck: one line per file
+// checked, one line per problem, and a verdict.
+func (r *Report) String() string {
+	out := fmt.Sprintf("fsck %s\n", r.Dir)
+	for _, c := range r.Checked {
+		out += "  checked " + c + "\n"
+	}
+	for _, p := range r.Problems {
+		out += "  PROBLEM: " + p + "\n"
+	}
+	if r.OK() {
+		out += fmt.Sprintf("clean: %d log records, last generation %d\n", r.Records, r.LastSeq)
+	} else {
+		out += fmt.Sprintf("CORRUPT: %d problem(s) found\n", len(r.Problems))
+	}
+	return out
+}
+
+// Fsck validates every snapshot and log segment in dir without
+// modifying anything: frame checksums, record decodability, term-ID
+// referential integrity (every row word resolves through its file's
+// dictionary), generation monotonicity and contiguity, and
+// snapshot-to-log coverage. The returned error is non-nil only for
+// I/O failures reading the directory itself; integrity violations go
+// in the report.
+func Fsck(dir string) (*Report, error) {
+	rep := &Report{Dir: dir}
+	snaps, segs, err := listDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 && len(segs) == 0 {
+		rep.problemf("no snapshots and no log segments in %s", dir)
+		return rep, nil
+	}
+
+	// Snapshots: every one on disk must validate, even superseded
+	// leftovers — a snapshot that fails its checksum is corruption
+	// whether or not recovery would pick it.
+	base := uint64(0)
+	haveBase := false
+	for _, seq := range snaps {
+		name := snapName(seq)
+		rep.Checked = append(rep.Checked, name)
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			rep.problemf("%s: %v", name, err)
+			continue
+		}
+		snap, err := decodeSnapshot(data)
+		if err != nil {
+			rep.problemf("%s: %v", name, err)
+			continue
+		}
+		if snap.Seq != seq {
+			rep.problemf("%s: claims generation %d", name, snap.Seq)
+			continue
+		}
+		if !haveBase || seq > base {
+			base, haveBase = seq, true
+		}
+	}
+
+	// Segments: structural frame validation plus per-segment decode
+	// (which checks dictionary referential integrity) plus the
+	// cross-segment generation discipline.
+	prevSeq := uint64(0)
+	seenAny := false
+	lastSeq := base
+	for i, start := range segs {
+		name := segName(start)
+		rep.Checked = append(rep.Checked, name)
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			rep.problemf("%s: %v", name, err)
+			continue
+		}
+		res, err := scanSegment(data)
+		if err != nil {
+			rep.problemf("%s: %v", name, err)
+			continue
+		}
+		if res.torn {
+			if i == len(segs)-1 {
+				rep.problemf("%s: truncated record (torn tail) at offset %d — recovery will drop it", name, res.validEnd)
+			} else {
+				rep.problemf("%s: truncated record at offset %d in a non-final segment", name, res.validEnd)
+			}
+		}
+		for _, r := range res.records {
+			rep.Records++
+			if r.Seq <= start {
+				rep.problemf("%s: record generation %d not past segment start %d", name, r.Seq, start)
+				continue
+			}
+			if seenAny {
+				switch {
+				case r.Seq == prevSeq+1:
+				case r.Seq <= prevSeq:
+					rep.problemf("%s: duplicated or non-monotonic generation %d after %d", name, r.Seq, prevSeq)
+				default:
+					rep.problemf("%s: generation gap: %d follows %d", name, r.Seq, prevSeq)
+				}
+			}
+			prevSeq, seenAny = r.Seq, true
+			if r.Seq > lastSeq {
+				lastSeq = r.Seq
+			}
+		}
+	}
+	rep.LastSeq = lastSeq
+
+	// Coverage: the log suffix past the best snapshot must start at
+	// exactly the next generation, or the state in between is lost.
+	if seenAny && prevSeq > base {
+		firstPast := uint64(0)
+		// Find the first record generation past the base across the
+		// ordered segments (recomputed cheaply from the walk above is
+		// not possible without storing; re-derive from segment starts).
+		for _, start := range segs {
+			data, err := os.ReadFile(filepath.Join(dir, segName(start)))
+			if err != nil {
+				continue
+			}
+			res, err := scanSegment(data)
+			if err != nil {
+				continue
+			}
+			for _, r := range res.records {
+				if r.Seq > base {
+					firstPast = r.Seq
+					break
+				}
+			}
+			if firstPast != 0 {
+				break
+			}
+		}
+		if firstPast != 0 && firstPast != base+1 {
+			rep.problemf("generation gap: best snapshot at %d, first log record past it at %d", base, firstPast)
+		}
+	}
+	return rep, nil
+}

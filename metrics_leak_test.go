@@ -45,7 +45,10 @@ func shapeOf(res *Result) traceShape {
 func TestRetriedQueryMetricsMatchCleanRun(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			db := OpenWith(Config{Workers: workers})
+			db, err := OpenWith(Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
 			mustExec(t, db, finiteTCSrc)
 			opts := []Option{WithStrategy(StrategySeminaive), WithTrace()}
 
@@ -91,7 +94,10 @@ func TestRetriedQueryMetricsMatchCleanRun(t *testing.T) {
 func TestFallbackRerunMetricsAreFresh(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			db := OpenWith(Config{Workers: workers})
+			db, err := OpenWith(Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
 			mustExec(t, db, finiteTCSrc)
 
 			// Baseline: what a direct traced semi-naive run produces —

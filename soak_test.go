@@ -114,7 +114,10 @@ func TestChaosSoak(t *testing.T) {
 	baseGoroutines := runtime.NumGoroutine()
 	// Capacity below the worker count and a tiny queue so admission
 	// pressure and shedding actually happen during the soak.
-	db := OpenWith(Config{MaxConcurrent: 6, MaxQueue: 2})
+	db, err := OpenWith(Config{MaxConcurrent: 6, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mustExec(t, db, soakSrc)
 
 	var (
@@ -313,4 +316,161 @@ func TestChaosSoak(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// TestDurableChaosSoak is the durability counterpart of TestChaosSoak:
+// seeded cycles of open → mutate under concurrent readers → crash (or
+// close) → reopen. Crashes come in three flavors — clean Close, hard
+// abandonment mid-flight, and a torn final append injected at the
+// wal.append site — and cycles alternate between log-only and
+// snapshot-compacted cadences. The invariant held at every reopen: the
+// recovered generation is exactly the last durable one (never past it,
+// never reset), and the fact count matches the generation bit-exactly:
+// every generation after the first added one mark, so marks == gen-1.
+func TestDurableChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	seed := soakEnvInt64("CHAINSPLIT_SOAK_SEED", time.Now().UnixNano())
+	duration := time.Duration(soakEnvInt64("CHAINSPLIT_SOAK_DURATION",
+		int64(1500*time.Millisecond)))
+	t.Logf("durable soak: seed=%d duration=%v", seed, duration)
+	defer faultinject.Reset()
+
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(seed ^ 0xd00b1e))
+	deadline := time.Now().Add(duration)
+	strategies := []Strategy{
+		StrategyAuto, StrategyMagic, StrategyMagicFollow,
+		StrategyMagicSplit, StrategyBuffered, StrategySeminaive, StrategyTopDown,
+	}
+
+	nextMark := int64(0) // never reused, even when a torn write loses one
+	prevGen := uint64(0)
+	cycles, crashes, torn := 0, 0, 0
+	for cycle := 0; cycle == 0 || time.Now().Before(deadline); cycle++ {
+		cycles++
+		every := -1 // log-only on even cycles, compacted on odd
+		if cycle%2 == 1 {
+			every = 4
+		}
+		db, err := OpenWith(Config{Dir: dir, SnapshotEvery: every})
+		if err != nil {
+			t.Fatalf("cycle %d: reopen: %v", cycle, err)
+		}
+		gen := db.Generation()
+		if gen < prevGen {
+			t.Fatalf("cycle %d: generation went backwards: %d after %d", cycle, gen, prevGen)
+		}
+		if cycle == 0 {
+			mustExec(t, db, "tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y).\ne(n0, n1). e(n1, n2). e(n2, n3).")
+		} else {
+			// Recovered state answers exactly: one mark per generation
+			// after the rules generation.
+			res, err := db.Query("?- m(K).")
+			if err != nil {
+				t.Fatalf("cycle %d: recovered mark query: %v", cycle, err)
+			}
+			if uint64(len(res.Rows)) != gen-1 {
+				t.Fatalf("cycle %d: %d marks at generation %d, want %d", cycle, len(res.Rows), gen, gen-1)
+			}
+		}
+
+		// Concurrent readers under random strategies while the writer
+		// mutates: snapshot isolation means they must never error and
+		// never see a partial graph.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed + int64(cycle*31+w)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					res, err := db.Query("?- tc(n0, Y).", WithStrategy(strategies[r.Intn(len(strategies))]))
+					if err != nil {
+						t.Errorf("reader: %v", err)
+						return
+					}
+					if len(res.Rows) < 3 {
+						t.Errorf("reader saw %d tc answers, want >= 3", len(res.Rows))
+						return
+					}
+				}
+			}()
+		}
+
+		// Mutation burst, sometimes under a lying fsync (the write
+		// still lands; the lie exercises the skip path under load).
+		if rng.Intn(3) == 0 {
+			faultinject.Set(faultinject.SiteWALSync, func() error { return faultinject.ErrSkipOp })
+		}
+		for i, n := 0, 3+rng.Intn(6); i < n; i++ {
+			nextMark++
+			if err := db.LoadFacts("m", [][]Term{{Int(nextMark)}}); err != nil {
+				t.Fatalf("cycle %d: LoadFacts: %v", cycle, err)
+			}
+			if rng.Intn(5) == 0 {
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("cycle %d: checkpoint: %v", cycle, err)
+				}
+			}
+		}
+		faultinject.Clear(faultinject.SiteWALSync)
+		close(stop)
+		wg.Wait()
+		prevGen = db.Generation()
+
+		switch mode := rng.Intn(3); {
+		case mode == 0:
+			if err := db.Close(); err != nil {
+				t.Fatalf("cycle %d: close: %v", cycle, err)
+			}
+		case mode == 2 && every == -1:
+			// Crash mid-append: the frame is torn at a random point but
+			// reported as written. Recovery must drop it — exactly the
+			// pre-tear generation comes back.
+			torn++
+			restore := faultinject.SetData(faultinject.SiteWALAppend, func(b []byte) ([]byte, error) {
+				return b[:rng.Intn(len(b))], nil
+			})
+			nextMark++ // this mark is lost forever
+			if err := db.LoadFacts("m", [][]Term{{Int(nextMark)}}); err != nil {
+				t.Fatalf("cycle %d: torn LoadFacts: %v", cycle, err)
+			}
+			restore()
+			crashes++
+		default:
+			crashes++ // hard crash: abandon the handle without Close
+		}
+	}
+
+	db, err := OpenWith(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer db.Close()
+	gen := db.Generation()
+	if gen < prevGen {
+		t.Fatalf("final generation %d went backwards from %d", gen, prevGen)
+	}
+	res, err := db.Query("?- m(K).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(res.Rows)) != gen-1 {
+		t.Fatalf("final: %d marks at generation %d, want %d", len(res.Rows), gen, gen-1)
+	}
+	report, ok, err := Fsck(dir)
+	if err != nil || !ok {
+		t.Fatalf("post-soak fsck: ok=%v err=%v\n%s", ok, err, report)
+	}
+	t.Logf("durable soak: %d cycles (%d crashes, %d torn appends), final generation %d, %d marks",
+		cycles, crashes, torn, gen, len(res.Rows))
 }
