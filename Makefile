@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet staticcheck race bench bench-smoke fuzz-smoke
+.PHONY: build test check vet staticcheck race bench bench-smoke fuzz-smoke soak replica-soak
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,20 @@ staticcheck:
 
 race:
 	$(GO) test -race ./...
+
+# `race` (and therefore `check`) already executes every chaos soak —
+# live, durable, and replicated — at their ~2s in-tree defaults; the
+# soak targets below rerun them longer. Duration is in nanoseconds and
+# env-tunable, e.g. `make soak SOAK_DURATION=30000000000`.
+SOAK_DURATION ?= 15000000000
+
+soak:
+	CHAINSPLIT_SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -count=1 -run 'ChaosSoak' -v .
+
+# Just the replication soak (leader + followers under partitions, lag,
+# and corruption) — the fastest way to hammer internal/replica.
+replica-soak:
+	CHAINSPLIT_SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -count=1 -run 'ReplicaChaosSoak' -v .
 
 check: build vet staticcheck race
 

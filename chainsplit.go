@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"chainsplit/internal/admission"
@@ -64,6 +65,7 @@ import (
 	"chainsplit/internal/lang"
 	"chainsplit/internal/obsv"
 	"chainsplit/internal/program"
+	"chainsplit/internal/replica"
 	"chainsplit/internal/retry"
 	"chainsplit/internal/term"
 	"chainsplit/internal/wal"
@@ -229,6 +231,18 @@ type DB struct {
 	// workers is the Config.Workers default applied when a query does
 	// not set WithWorkers.
 	workers int
+
+	// maxStale is Config.MaxStaleness: the bound past which a follower
+	// sheds reads with ErrStale instead of serving old answers.
+	maxStale time.Duration
+
+	// replMu guards the replication lifecycle below. repl is the
+	// follower session tailing a leader (nil otherwise); leaders are
+	// the replication listeners started by ServeReplication.
+	replMu  sync.Mutex
+	repl    *replica.Session
+	leaders []*replica.Leader
+	closed  bool
 }
 
 // Config sizes the serving layer of a database opened with OpenWith.
@@ -260,6 +274,13 @@ type Config struct {
 	// compacted snapshots of a durable database (0 = default 256,
 	// negative = never; Checkpoint still works). Ignored without Dir.
 	SnapshotEvery int
+	// MaxStaleness bounds how old a replica follower's view may be
+	// before it sheds reads with ErrStale instead of silently serving
+	// stale answers: a follower whose last known catch-up with the
+	// leader is further in the past than this refuses queries until it
+	// reconnects and catches up. 0 means serve reads at any staleness.
+	// Only meaningful for databases opened with OpenFollower.
+	MaxStaleness time.Duration
 }
 
 // Open returns an empty in-memory database with default serving
@@ -303,10 +324,117 @@ func OpenWith(cfg Config) (*DB, error) {
 	}, nil
 }
 
-// Close flushes and closes a durable database's log. Pinned queries
-// already running keep their snapshot; later mutations fail. Closing
-// an in-memory database is a no-op.
-func (db *DB) Close() error { return db.inner.Close() }
+// OpenFollower opens a read-only replica of the leader serving
+// replication at addr (see ServeReplication). The follower tails the
+// leader's write-ahead log continuously, re-derives each shipped
+// generation bottom-up, and serves queries against its latest applied
+// generation; mutations fail with ErrNotLeader until Promote. With
+// cfg.Dir set the follower is itself durable — it logs every applied
+// record locally before publishing it, recovers through the ordinary
+// path, and resumes the stream from its last durable generation.
+// cfg.MaxStaleness bounds how old served answers may be (reads past
+// the bound are shed with ErrStale); connection loss reconnects with
+// capped backoff until Close or Promote.
+func OpenFollower(addr string, cfg Config) (*DB, error) {
+	inner := core.NewFollower()
+	if cfg.Dir != "" {
+		var err error
+		inner, err = core.OpenFollowerDir(cfg.Dir, wal.Options{SnapshotEvery: cfg.SnapshotEvery})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sess, err := replica.StartFollower(inner, addr, replica.FollowerConfig{})
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	return &DB{
+		inner:    inner,
+		workers:  cfg.Workers,
+		maxStale: cfg.MaxStaleness,
+		repl:     sess,
+		adm: admission.New(admission.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+		}),
+	}, nil
+}
+
+// ServeReplication starts serving this database's write-ahead log to
+// replica followers on addr (host:port; port 0 picks one) and returns
+// the bound address for OpenFollower. Only durable databases can
+// lead. Serving is passive with respect to local work: queries and
+// mutations proceed unchanged while connected followers tail the log.
+// The listener runs until Close.
+func (db *DB) ServeReplication(addr string) (string, error) {
+	l, err := replica.Serve(db.inner, addr, replica.LeaderConfig{})
+	if err != nil {
+		return "", err
+	}
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.closed {
+		l.Close()
+		return "", errors.New("chainsplit: database is closed")
+	}
+	db.leaders = append(db.leaders, l)
+	return l.Addr(), nil
+}
+
+// IsFollower reports whether the database is a read-only replica
+// (mutations fail with ErrNotLeader).
+func (db *DB) IsFollower() bool { return db.inner.Follower() }
+
+// Staleness returns how long ago a follower last knew it was caught
+// up with its leader; 0 for a leader or an unreplicated database.
+func (db *DB) Staleness() time.Duration {
+	db.replMu.Lock()
+	sess := db.repl
+	db.replMu.Unlock()
+	if sess == nil || !db.inner.Follower() {
+		return 0
+	}
+	return sess.Staleness()
+}
+
+// Promote turns a follower into a writable leader at exactly its last
+// durable generation: the replication session stops, the local log
+// tail is fsynced, and contiguity between the durable log and the
+// published state is verified — a follower whose two disagree refuses
+// to promote (ErrCorrupt) rather than invent or drop a generation.
+// In-flight applies complete or are cut off at a record boundary;
+// shipped frames never half-apply. Promoting a leader is a no-op.
+func (db *DB) Promote() error {
+	db.replMu.Lock()
+	sess := db.repl
+	db.repl = nil
+	db.replMu.Unlock()
+	if sess != nil {
+		sess.Stop()
+	}
+	return db.inner.Promote()
+}
+
+// Close releases the database: the replication session and any
+// replication listeners stop, and a durable database's log is flushed
+// and closed. Close is idempotent and safe to call concurrently with
+// in-flight queries and Checkpoint: pinned queries keep their
+// snapshot; later mutations fail loudly.
+func (db *DB) Close() error {
+	db.replMu.Lock()
+	sess := db.repl
+	leaders := db.leaders
+	db.repl, db.leaders, db.closed = nil, nil, true
+	db.replMu.Unlock()
+	if sess != nil {
+		sess.Stop()
+	}
+	for _, l := range leaders {
+		l.Close()
+	}
+	return db.inner.Close()
+}
 
 // Checkpoint writes a compacted snapshot of the current generation and
 // prunes the write-ahead log history it supersedes. A no-op for
@@ -432,8 +560,16 @@ func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *R
 }
 
 // queryOnce runs one admission-controlled evaluation attempt against
-// the generation current at admission time.
+// the generation current at admission time. On a follower the
+// staleness bound is checked first: a view older than MaxStaleness is
+// shed with ErrStale before any evaluation work, like an admission
+// rejection — the query never silently reads old state.
 func (db *DB) queryOnce(ctx context.Context, goals []program.Atom, opts core.Options) (*Result, error) {
+	if db.maxStale > 0 && db.Staleness() > db.maxStale {
+		if err := core.CheckFollowerRead(true); err != nil {
+			return nil, &core.EvalError{Strategy: "replica", Err: err}
+		}
+	}
 	wait, release, err := db.adm.Acquire(ctx)
 	if err != nil {
 		if errors.Is(err, everr.ErrOverloaded) {

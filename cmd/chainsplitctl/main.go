@@ -14,13 +14,19 @@
 //	chainsplitctl -concurrency 4 -i prog.dl    # cap in-flight queries
 //	chainsplitctl -dir ./data prog.dl          # durable database (WAL + snapshots)
 //	chainsplitctl -dir ./data -fsck            # offline integrity check, no open
+//	chainsplitctl -dir ./data -serve :7070 -i  # lead: serve the WAL to replicas
+//	chainsplitctl -follow host:7070 -q '…'     # read from a replica follower
+//	chainsplitctl -follow host:7070 -dir ./f   # durable follower (resumes on restart)
+//	chainsplitctl -follow … -max-staleness 1s  # bound how old served answers may be
 //
-// Exit codes (documented in docs/robustness.md):
+// Exit codes (documented in docs/robustness.md and docs/durability.md):
 //
 //	0  success
-//	1  usage error or program/fact load failure
-//	2  a limit stopped the query: -timeout, the -max-tuples budget, or
-//	   admission-control load shedding
+//	1  usage error or program/fact load failure (including -fsck on a
+//	   directory that holds no durable store at all)
+//	2  a limit stopped the query: -timeout, the -max-tuples budget,
+//	   admission-control load shedding, or a -follow read shed because
+//	   the follower exceeded -max-staleness
 //	3  durable-state corruption: the store under -dir failed to open
 //	   (recovery found state it cannot trust) or -fsck found problems
 package main
@@ -65,6 +71,9 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines per bottom-up fixpoint round (results identical to serial); 0 or 1 means serial")
 	dir := flag.String("dir", "", "durable database directory (write-ahead log + snapshots); empty means in-memory")
 	fsck := flag.Bool("fsck", false, "validate the durable store under -dir (checksums, term-ID integrity, generation monotonicity) and exit; 0 clean, 3 corrupt")
+	serve := flag.String("serve", "", "serve this database's write-ahead log to replica followers on addr (requires -dir)")
+	follow := flag.String("follow", "", "tail a replication leader at addr and serve read-only answers (with -dir the follower is durable and resumes after a restart)")
+	maxStale := flag.Duration("max-staleness", 0, "with -follow: refuse reads (exit 2) when the follower's view of the leader is older than this; 0 serves at any staleness")
 	flag.Parse()
 
 	if *fsck {
@@ -73,6 +82,12 @@ func main() {
 		}
 		report, ok, err := chainsplit.Fsck(*dir)
 		if err != nil {
+			// Exit 3 is reserved for corruption of state that exists; a
+			// directory with no store at all is a usage error — wrong
+			// -dir, or a database that was never created.
+			if errors.Is(err, chainsplit.ErrNoStore) {
+				fail("fsck: %s holds no durable store (nothing to check; is -dir right?)", *dir)
+			}
 			fail("fsck: %v", err)
 		}
 		fmt.Print(report)
@@ -98,8 +113,21 @@ func main() {
 	if *workers < 0 {
 		fail("negative -workers %d (use 0 or 1 for serial)", *workers)
 	}
+	if *maxStale < 0 {
+		fail("negative -max-staleness %v (use 0 to serve at any staleness)", *maxStale)
+	}
+	if *maxStale > 0 && *follow == "" {
+		fail("-max-staleness only applies to a -follow replica")
+	}
 
-	db, err := chainsplit.OpenWith(chainsplit.Config{MaxConcurrent: *concurrency, Workers: *workers, Dir: *dir})
+	cfg := chainsplit.Config{MaxConcurrent: *concurrency, Workers: *workers, Dir: *dir, MaxStaleness: *maxStale}
+	var db *chainsplit.DB
+	var err error
+	if *follow != "" {
+		db, err = chainsplit.OpenFollower(*follow, cfg)
+	} else {
+		db, err = chainsplit.OpenWith(cfg)
+	}
 	if err != nil {
 		// Corruption gets its own exit code: "the store is damaged" is
 		// actionable (restore a backup, run -fsck) in a way "bad flag"
@@ -111,6 +139,28 @@ func main() {
 		fail("%v", err)
 	}
 	defer db.Close()
+	if *serve != "" {
+		addr, err := db.ServeReplication(*serve)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "chainsplitctl: serving replication on %s\n", addr)
+	}
+	if *follow != "" {
+		// A one-shot read against a freshly started follower would race
+		// its initial catch-up and answer from an empty database; wait
+		// for the stream to quiesce first (bounded, best-effort — a
+		// leader that keeps writing just means we read a recent view).
+		last, stable := uint64(0), 0
+		for begin := time.Now(); time.Since(begin) < 2*time.Second && stable < 3; time.Sleep(25 * time.Millisecond) {
+			g := db.Generation()
+			if g != last {
+				last, stable = g, 0
+			} else if g > 0 || time.Since(begin) > 500*time.Millisecond {
+				stable++
+			}
+		}
+	}
 	var embedded []string
 	for _, path := range flag.Args() {
 		var data []byte
@@ -196,10 +246,12 @@ func main() {
 	}
 	// One-shot modes exit non-zero when a limit stopped the query, so
 	// scripts can tell "no answers" from "gave up". Load shedding is a
-	// limit too: the query was never evaluated, only refused.
+	// limit too: the query was never evaluated, only refused. So is a
+	// staleness shed on a -follow replica — the follower declined to
+	// serve an old answer.
 	exitOnLimit := func(err error) {
 		if errors.Is(err, chainsplit.ErrDeadline) || errors.Is(err, chainsplit.ErrBudget) ||
-			errors.Is(err, chainsplit.ErrOverloaded) {
+			errors.Is(err, chainsplit.ErrOverloaded) || errors.Is(err, chainsplit.ErrStale) {
 			os.Exit(2)
 		}
 	}
@@ -250,6 +302,8 @@ func limitMessage(err error, timeout time.Duration) string {
 		return "query exceeded its evaluation budget (raise -max-tuples or add constraints)"
 	case errors.Is(err, chainsplit.ErrOverloaded):
 		return "query shed by admission control (raise -concurrency or retry later)"
+	case errors.Is(err, chainsplit.ErrStale):
+		return "read refused: this follower lags the leader past -max-staleness (retry, or query the leader)"
 	default:
 		return err.Error()
 	}

@@ -2,12 +2,167 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"chainsplit"
 )
+
+// TestMain lets tests re-exec this binary as chainsplitctl itself, so
+// exit codes — the CLI's scripting contract — are tested for real.
+func TestMain(m *testing.M) {
+	if os.Getenv("CHAINSPLITCTL_BE_MAIN") == "1" {
+		os.Args = append([]string{"chainsplitctl"},
+			strings.Split(os.Getenv("CHAINSPLITCTL_ARGS"), "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCtl runs chainsplitctl with args and returns combined output and
+// the exit code.
+func runCtl(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CHAINSPLITCTL_BE_MAIN=1",
+		"CHAINSPLITCTL_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("chainsplitctl %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestFsckExitCodes(t *testing.T) {
+	// Nonexistent directory: usage error, exit 1 — exit 3 is reserved
+	// strictly for corruption of state that exists.
+	out, code := runCtl(t, "-fsck", "-dir", filepath.Join(t.TempDir(), "nope"))
+	if code != 1 {
+		t.Errorf("fsck on a nonexistent dir: exit %d, want 1\n%s", code, out)
+	}
+
+	// Empty directory: it exists but holds no store — still a usage
+	// error with a clear diagnostic, not corruption.
+	out, code = runCtl(t, "-fsck", "-dir", t.TempDir())
+	if code != 1 {
+		t.Errorf("fsck on an empty dir: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "no durable store") {
+		t.Errorf("fsck on an empty dir: diagnostic missing\n%s", out)
+	}
+
+	// Missing -dir: usage error.
+	if _, code = runCtl(t, "-fsck"); code != 1 {
+		t.Errorf("fsck without -dir: exit %d, want 1", code)
+	}
+
+	// A clean store: exit 0.
+	dir := t.TempDir()
+	db, err := chainsplit.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out, code = runCtl(t, "-fsck", "-dir", dir); code != 0 {
+		t.Errorf("fsck on a clean store: exit %d, want 0\n%s", code, out)
+	}
+
+	// Corrupted state that exists: exit 3.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments to corrupt: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if out, code = runCtl(t, "-fsck", "-dir", dir); code != 3 {
+		t.Errorf("fsck on a corrupt store: exit %d, want 3\n%s", code, out)
+	}
+}
+
+func TestFollowFlag(t *testing.T) {
+	// A leader with data, served in-process; the CLI follows it and
+	// must answer one-shot queries with the leader's facts.
+	dir := t.TempDir()
+	leader, err := chainsplit.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.Exec("p(a). p(b)."); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out, code := runCtl(t, "-follow", addr, "-q", "?- p(X).")
+		if code == 0 && strings.Contains(out, "X = a") && strings.Contains(out, "X = b") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower CLI never served the leader's facts: exit %d\n%s", code, out)
+		}
+	}
+
+	// Writes through a follower are refused (exit 1, load failure).
+	prog := filepath.Join(t.TempDir(), "w.dl")
+	os.WriteFile(prog, []byte("q(c).\n"), 0o644)
+	if out, code := runCtl(t, "-follow", addr, prog); code != 1 {
+		t.Errorf("program load through a follower: exit %d, want 1\n%s", code, out)
+	}
+
+	// -max-staleness against a dead leader: the read is shed, exit 2.
+	leader2, err := chainsplit.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader2.Exec("p(z)."); err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := leader2.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runCtl(t, "-follow", addr2, "-max-staleness", "1ms", "-q", "?- p(X).")
+	if code != 2 {
+		t.Errorf("stale read: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "lags the leader") {
+		t.Errorf("stale read: diagnostic missing\n%s", out)
+	}
+
+	// -max-staleness without -follow is a usage error.
+	if _, code := runCtl(t, "-max-staleness", "1s", "-q", "?- p(X)."); code != 1 {
+		t.Errorf("-max-staleness without -follow: exit %d, want 1", code)
+	}
+}
 
 func TestSplitQueries(t *testing.T) {
 	src := `p(a).

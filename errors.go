@@ -31,6 +31,25 @@ var (
 	ErrOverloaded = everr.ErrOverloaded
 )
 
+// Replication errors; see OpenFollower and Config.MaxStaleness.
+var (
+	// ErrStale marks a read shed by a replica follower whose view of
+	// the leader is older than Config.MaxStaleness: the follower
+	// refuses to silently serve old answers. The query never started;
+	// route it to a fresher replica or the leader, or retry after the
+	// follower catches up.
+	ErrStale = everr.ErrStale
+	// ErrNotLeader marks a mutation (Exec, LoadFacts) attempted on a
+	// read-only replica follower. Writes go to the leader; a follower
+	// becomes writable only through Promote.
+	ErrNotLeader = everr.ErrNotLeader
+)
+
+// ErrNoStore matches the Fsck error for a directory that holds no
+// durable store at all — a usage error (wrong path, never-used
+// directory), distinct from corruption of state that does exist.
+var ErrNoStore = wal.ErrNoStore
+
 // ErrCorrupt matches (errors.Is) every failure caused by invalid
 // durable state when opening a database with OpenDir/Config.Dir:
 // checksum mismatches, truncated or duplicated log records, dangling

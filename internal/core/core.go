@@ -286,6 +286,12 @@ type DB struct {
 	// replays the mutation on reopen; a crash before it returns an
 	// error to the caller and publishes nothing.
 	store *wal.Store
+
+	// follower marks a read-only replica: Load and LoadTuples refuse
+	// with everr.ErrNotLeader, and generations advance only through
+	// ApplyReplica (shipped leader records) until Promote clears the
+	// flag. Atomic so the serving layer can read it without writeMu.
+	follower atomic.Bool
 }
 
 // generation is one immutable database state: the programs, the EDB
@@ -367,6 +373,23 @@ func (db *DB) publish(next *generation) {
 func (db *DB) Load(p *program.Program) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if db.follower.Load() {
+		return everr.ErrNotLeader
+	}
+	next := db.buildProgramGen(p)
+	if db.store != nil {
+		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecExec, Src: p.String()}); err != nil {
+			return fmt.Errorf("core: durable log append failed, load not applied: %w", err)
+		}
+	}
+	db.publish(next)
+	db.maybeSnapshotLocked(next)
+	return nil
+}
+
+// buildProgramGen builds (but does not publish) the generation that
+// applies program p on top of the current one. Callers hold writeMu.
+func (db *DB) buildProgramGen(p *program.Program) *generation {
 	cur := db.current()
 	next := cur.evolve()
 	for _, r := range p.Rules {
@@ -388,14 +411,7 @@ func (db *DB) Load(p *program.Program) error {
 	if len(p.Rules) == 0 {
 		next.analysis = cur.peekAnalysis()
 	}
-	if db.store != nil {
-		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecExec, Src: p.String()}); err != nil {
-			return fmt.Errorf("core: durable log append failed, load not applied: %w", err)
-		}
-	}
-	db.publish(next)
-	db.maybeSnapshotLocked(next)
-	return nil
+	return next
 }
 
 // analysisFor returns the generation's adornment analysis, building it
@@ -630,18 +646,42 @@ func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if db.follower.Load() {
+		return everr.ErrNotLeader
+	}
+	next, err := db.buildTuplesGen(pred, tuples)
+	if err != nil {
+		return err
+	}
+	if db.store != nil {
+		wt := make([]relation.Tuple, len(tuples))
+		for i, tup := range tuples {
+			wt[i] = relation.Tuple(tup)
+		}
+		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecFacts, Pred: pred, Tuples: wt}); err != nil {
+			return fmt.Errorf("core: durable log append failed, batch not applied: %w", err)
+		}
+	}
+	db.publish(next)
+	db.maybeSnapshotLocked(next)
+	return nil
+}
+
+// buildTuplesGen validates a bulk batch and builds (but does not
+// publish) the generation that applies it. Callers hold writeMu.
+func (db *DB) buildTuplesGen(pred string, tuples [][]term.Term) (*generation, error) {
 	cur := db.current()
 	arity := len(tuples[0])
 	if existing := cur.cat.Get(pred); existing != nil && existing.Arity() != arity {
-		return fmt.Errorf("core: relation %s exists with arity %d, tuples have arity %d", pred, existing.Arity(), arity)
+		return nil, fmt.Errorf("core: relation %s exists with arity %d, tuples have arity %d", pred, existing.Arity(), arity)
 	}
 	for i, tup := range tuples {
 		if len(tup) != arity {
-			return fmt.Errorf("core: tuple %d has arity %d, want %d", i, len(tup), arity)
+			return nil, fmt.Errorf("core: tuple %d has arity %d, want %d", i, len(tup), arity)
 		}
 		for _, v := range tup {
 			if !v.Ground() {
-				return fmt.Errorf("core: tuple %d is not ground: %v", i, tup)
+				return nil, fmt.Errorf("core: tuple %d is not ground: %v", i, tup)
 			}
 		}
 	}
@@ -656,18 +696,7 @@ func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 			next.source.Facts = append(next.source.Facts, program.Atom{Pred: pred, Args: tup})
 		}
 	}
-	if db.store != nil {
-		wt := make([]relation.Tuple, len(tuples))
-		for i, tup := range tuples {
-			wt[i] = relation.Tuple(tup)
-		}
-		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecFacts, Pred: pred, Tuples: wt}); err != nil {
-			return fmt.Errorf("core: durable log append failed, batch not applied: %w", err)
-		}
-	}
-	db.publish(next)
-	db.maybeSnapshotLocked(next)
-	return nil
+	return next, nil
 }
 
 // Explain plans the query without running it (buffered/topdown plans

@@ -63,22 +63,38 @@ func OpenDir(dir string, opts wal.Options) (*DB, error) {
 // which reproduces both the fact lists and every relation's insertion
 // order exactly.
 func (db *DB) applySnapshot(snap *wal.Snapshot) error {
+	next, err := genFromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if cur := db.current(); cur.seq != 0 {
+		return fmt.Errorf("core: snapshot applied to a non-empty database (generation %d)", cur.seq)
+	}
+	db.publish(next)
+	return nil
+}
+
+// genFromSnapshot builds a from-scratch generation holding exactly the
+// snapshot's state, at the snapshot's sequence number. Rules and
+// pragmas come back through the parser; the fact stream is applied in
+// its original global order.
+func genFromSnapshot(snap *wal.Snapshot) (*generation, error) {
 	p := &program.Program{}
 	if strings.TrimSpace(snap.Rules) != "" {
 		res, err := lang.Parse(snap.Rules)
 		if err != nil {
-			return fmt.Errorf("%w: snapshot rules do not parse: %v", wal.ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: snapshot rules do not parse: %v", wal.ErrCorrupt, err)
 		}
 		p = res.Program
 	}
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
-	cur := db.current()
-	if cur.seq != 0 {
-		return fmt.Errorf("core: snapshot applied to a non-empty database (generation %d)", cur.seq)
+	next := &generation{
+		seq:    snap.Seq,
+		source: &program.Program{},
+		prog:   &program.Program{},
+		cat:    relation.NewCatalog(),
 	}
-	next := cur.evolve()
-	next.seq = snap.Seq
 	for _, r := range p.Rules {
 		next.source.Rules = append(next.source.Rules, r)
 		next.prog.Rules = append(next.prog.Rules, program.RectifyRule(r))
@@ -88,7 +104,7 @@ func (db *DB) applySnapshot(snap *wal.Snapshot) error {
 	for _, fr := range snap.Facts {
 		rel := next.cat.Get(fr.Pred)
 		if rel != nil && rel.Arity() != len(fr.Tuple) {
-			return fmt.Errorf("%w: snapshot fact %s has arity %d, relation has %d", wal.ErrCorrupt, fr.Pred, len(fr.Tuple), rel.Arity())
+			return nil, fmt.Errorf("%w: snapshot fact %s has arity %d, relation has %d", wal.ErrCorrupt, fr.Pred, len(fr.Tuple), rel.Arity())
 		}
 		f := program.Atom{Pred: fr.Pred, Args: fr.Tuple}
 		if next.cat.Ensure(fr.Pred, len(fr.Tuple)).Insert(relation.Tuple(fr.Tuple)) {
@@ -96,8 +112,7 @@ func (db *DB) applySnapshot(snap *wal.Snapshot) error {
 			next.prog.Facts = append(next.prog.Facts, f)
 		}
 	}
-	db.publish(next)
-	return nil
+	return next, nil
 }
 
 // applyRecord replays one WAL record through the ordinary mutation
@@ -153,6 +168,23 @@ func (db *DB) maybeSnapshotLocked(g *generation) {
 	}
 	_ = db.store.WriteSnapshot(snapshotOf(g))
 }
+
+// DurableDir returns the directory of the database's durable store,
+// "" for an in-memory database.
+func (db *DB) DurableDir() string {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.store == nil {
+		return ""
+	}
+	return db.store.Dir()
+}
+
+// SnapshotImage renders the current generation as a compacted
+// snapshot without touching the store — the leader ships it to
+// bootstrap a follower whose position left retained history. The
+// generation is immutable once published, so no lock is needed.
+func (db *DB) SnapshotImage() *wal.Snapshot { return snapshotOf(db.current()) }
 
 // Checkpoint writes a compacted snapshot of the current generation and
 // prunes the log history it supersedes. A no-op without a durable

@@ -1,0 +1,173 @@
+package core
+
+// Replica follower support: a follower is an ordinary DB whose
+// generations advance only by applying records shipped from a leader's
+// write-ahead log, never by local mutation. The apply path mirrors the
+// leader's discipline exactly — shipped record appended and fsynced to
+// the follower's own log *before* the generation is published — so a
+// follower that crashes recovers through the ordinary OpenDir path to
+// exactly its last durable generation, and the replication stream
+// resumes from there. Because replication ships only base mutations
+// (the chain-split framing: derived chains are re-derived bottom-up,
+// never transported), applying the same record sequence reproduces the
+// leader's generations bit-identically.
+
+import (
+	"errors"
+	"fmt"
+
+	"chainsplit/internal/everr"
+	"chainsplit/internal/lang"
+	"chainsplit/internal/obsv"
+	"chainsplit/internal/term"
+	"chainsplit/internal/wal"
+)
+
+// NewFollower returns an empty in-memory follower: read-only until
+// Promote, fed exclusively through ApplyReplica. Without a local
+// store its state is not durable — a restart re-bootstraps from the
+// leader.
+func NewFollower() *DB {
+	db := NewDB()
+	db.follower.Store(true)
+	return db
+}
+
+// OpenFollowerDir opens a durable follower rooted at dir, recovering
+// its last durable generation exactly as OpenDir does, then marking
+// the database read-only. The caller resumes the replication stream
+// from Generation().
+func OpenFollowerDir(dir string, opts wal.Options) (*DB, error) {
+	db, err := OpenDir(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.follower.Store(true)
+	return db, nil
+}
+
+// Follower reports whether the database is a read-only replica.
+func (db *DB) Follower() bool { return db.follower.Load() }
+
+// ApplyReplica applies one shipped leader record: validate and build
+// the next generation, append the record to the follower's own log
+// (durable before visible, the same publish-after-log invariant the
+// leader upholds), then publish. The record's sequence must be exactly
+// Generation()+1 — the transport guarantees contiguity and this
+// re-verifies it. Failures leave the database unchanged.
+func (db *DB) ApplyReplica(r wal.Record) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if !db.follower.Load() {
+		return errors.New("core: ApplyReplica on a database that is not a follower")
+	}
+	cur := db.current()
+	if r.Seq != cur.seq+1 {
+		return fmt.Errorf("%w: shipped record seq %d, follower at generation %d", wal.ErrCorrupt, r.Seq, cur.seq)
+	}
+	var next *generation
+	switch r.Type {
+	case wal.RecExec:
+		res, err := lang.Parse(r.Src)
+		if err != nil {
+			return fmt.Errorf("%w: shipped program does not parse: %v", wal.ErrCorrupt, err)
+		}
+		next = db.buildProgramGen(res.Program)
+	case wal.RecFacts:
+		tuples := make([][]term.Term, len(r.Tuples))
+		for i, t := range r.Tuples {
+			tuples[i] = []term.Term(t)
+		}
+		var err error
+		next, err = db.buildTuplesGen(r.Pred, tuples)
+		if err != nil {
+			return fmt.Errorf("%w: shipped fact batch rejected: %v", wal.ErrCorrupt, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown shipped record type %d", wal.ErrCorrupt, r.Type)
+	}
+	if next.seq != r.Seq {
+		return fmt.Errorf("%w: applying record %d built generation %d", wal.ErrCorrupt, r.Seq, next.seq)
+	}
+	if db.store != nil {
+		// The shipped record is re-logged verbatim, not re-rendered:
+		// the follower's log must replay to the same state the
+		// leader's does.
+		if err := db.store.Append(r); err != nil {
+			return fmt.Errorf("core: follower log append failed, record not applied: %w", err)
+		}
+	}
+	db.publish(next)
+	obsv.ReplicaRecordsApplied.Inc()
+	db.maybeSnapshotLocked(next)
+	return nil
+}
+
+// BootstrapReplica re-seeds the follower from a full leader snapshot —
+// the recovery path for a follower whose resume position has left the
+// leader's retained history. The local store (if any) is wiped and
+// rebuilt to hold exactly the snapshot; the published state jumps to
+// the snapshot's generation.
+func (db *DB) BootstrapReplica(snap *wal.Snapshot) error {
+	next, err := genFromSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if !db.follower.Load() {
+		return errors.New("core: BootstrapReplica on a database that is not a follower")
+	}
+	if db.store != nil {
+		dir, opts := db.store.Dir(), db.store.Options()
+		if err := db.store.Close(); err != nil {
+			return err
+		}
+		s, err := wal.Bootstrap(dir, snap, opts)
+		if err != nil {
+			return err
+		}
+		db.store = s
+	}
+	db.publish(next)
+	return nil
+}
+
+// Promote turns the follower into a writable leader at exactly its
+// last durable generation: fsync the local log tail, verify the
+// published generation and the durable position agree, then clear the
+// follower flag. There is no third outcome — a follower whose log and
+// published state disagree refuses to promote (ErrCorrupt) rather
+// than inventing or dropping a generation. Promoting a leader is a
+// no-op, so retries are safe.
+func (db *DB) Promote() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if !db.follower.Load() {
+		return nil
+	}
+	if db.store != nil {
+		if err := db.store.Sync(); err != nil {
+			return fmt.Errorf("core: promote: fsync of the log tail failed: %w", err)
+		}
+		if got, want := db.store.LastSeq(), db.current().seq; got != want {
+			return fmt.Errorf("%w: promote: durable log at generation %d, published state at %d", wal.ErrCorrupt, got, want)
+		}
+	}
+	db.follower.Store(false)
+	obsv.ReplicaPromotions.Inc()
+	return nil
+}
+
+// CheckFollowerRead gates a read on a follower: nil for a leader, and
+// for followers everr.ErrStale when the serving layer's staleness
+// check says the view is too old. The check itself lives with the
+// replication session (which knows the leader's position); this hook
+// just keeps the taxonomy mapping in one place.
+func CheckFollowerRead(stale bool) error {
+	if stale {
+		obsv.ReplicaStaleSheds.Inc()
+		return everr.ErrStale
+	}
+	return nil
+}

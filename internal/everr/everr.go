@@ -50,6 +50,15 @@ var (
 	// was full. The query never started; retrying after backoff is
 	// reasonable.
 	ErrOverloaded = errors.New("server overloaded (admission queue full)")
+	// ErrStale reports that a read was shed by a replica follower whose
+	// view of the leader is older than the configured staleness bound —
+	// the follower refuses to silently serve old answers. The query
+	// never started; a fresher replica (or the leader) can serve it.
+	ErrStale = errors.New("replica is stale (staleness bound exceeded)")
+	// ErrNotLeader reports a mutation attempted on a read-only replica
+	// follower. Writes go to the leader; a follower becomes writable
+	// only through an explicit promotion.
+	ErrNotLeader = errors.New("database is a read-only follower (not the leader)")
 )
 
 // Tag returns an error that renders exactly as msg but matches cause

@@ -42,6 +42,18 @@ const (
 	SiteStoreOpen     = "wal.store.open" // on Store open, before recovery
 )
 
+// The network injection sites wired into the replication layer
+// (internal/replica). The data sites carry the bytes in flight on one
+// side of the link, so a hook can partition it (return an error),
+// hang it (block), tear a frame short, or flip bits; the lag site
+// fires before each leader send, so a sleeping hook injects link
+// delay without corrupting anything.
+const (
+	SiteReplicaSend = "replica.send" // bytes of one outbound frame/handshake, pre-write
+	SiteReplicaRecv = "replica.recv" // bytes of one inbound read, post-read
+	SiteReplicaLag  = "replica.lag"  // before each leader send (sleep = injected delay)
+)
+
 // ErrSkipOp, returned by a hook at a sync site, makes the caller skip
 // the real operation while reporting success — an injected "fsync
 // lie". Data already handed to the OS may then be lost on the next

@@ -130,6 +130,28 @@ var (
 	Recoveries = NewCounter("chainsplit_recoveries_total", "durable stores recovered on open")
 	// ReplayedRecords counts WAL records applied during recovery.
 	ReplayedRecords = NewCounter("chainsplit_wal_replayed_records_total", "WAL records replayed during recovery")
+
+	// ReplicaRecordsShipped counts WAL records a leader shipped to
+	// followers (re-framed per connection).
+	ReplicaRecordsShipped = NewCounter("chainsplit_replica_records_shipped_total", "WAL records shipped to replica followers")
+	// ReplicaSnapshotsShipped counts full snapshots shipped to
+	// bootstrap (or re-seed) followers whose position left retained
+	// history.
+	ReplicaSnapshotsShipped = NewCounter("chainsplit_replica_snapshots_shipped_total", "snapshots shipped to bootstrap replica followers")
+	// ReplicaBytesShipped accumulates framed bytes written to follower
+	// connections (records, snapshots and heartbeats).
+	ReplicaBytesShipped = NewCounter("chainsplit_replica_bytes_shipped_total", "bytes shipped over replication connections (framing included)")
+	// ReplicaRecordsApplied counts shipped records a follower durably
+	// appended and applied.
+	ReplicaRecordsApplied = NewCounter("chainsplit_replica_records_applied_total", "shipped WAL records applied by followers")
+	// ReplicaReconnects counts follower reconnection attempts after a
+	// lost or corrupt replication stream.
+	ReplicaReconnects = NewCounter("chainsplit_replica_reconnects_total", "follower reconnects after a dropped replication stream")
+	// ReplicaStaleSheds counts reads refused with ErrStale by followers
+	// past their staleness bound.
+	ReplicaStaleSheds = NewCounter("chainsplit_replica_stale_sheds_total", "follower reads shed with ErrStale")
+	// ReplicaPromotions counts followers promoted to writable leaders.
+	ReplicaPromotions = NewCounter("chainsplit_replica_promotions_total", "followers promoted to leader")
 )
 
 func init() {

@@ -1,0 +1,563 @@
+// Package replica replicates a durable database over a streaming
+// transport: a leader serves its write-ahead log to followers, which
+// apply the shipped records through the ordinary recovery machinery
+// and publish read-only generations.
+//
+// The design rides the chain-split framing end to end: replication
+// ships only base mutations (the WAL's Exec and Facts records), never
+// derived state — each follower re-derives bottom-up exactly as the
+// leader does, so applying the same record sequence reproduces the
+// leader's generations bit-identically. The wire format reuses the
+// WAL frame codec verbatim (length | CRC-32C | payload), so every
+// shipped byte is checksummed and a torn or corrupted frame is
+// detected, the connection dropped and retried — a bad frame is never
+// applied.
+//
+// # Wire protocol
+//
+// A follower connects over TCP and sends a 16-byte handshake: the
+// magic "CSREPL01" followed by its current generation (uint64 BE).
+// The leader echoes the 8-byte magic and then streams frames, each a
+// wal.Frame whose payload begins with a message type byte:
+//
+//	MsgRecord    1 | record payload (wal.EncodeRecord, stream dict)
+//	MsgSnapshot  2 | snapshot image (wal.EncodeSnapshot)
+//	MsgHeartbeat 3 | leader generation uint64 BE
+//
+// Records ship in generation order, re-encoded against a
+// per-connection dictionary (segment-local dictionaries from disk
+// would dangle across segment boundaries the follower never sees). A
+// follower whose position has left the leader's retained history gets
+// a full snapshot first (MsgSnapshot), then records from the
+// snapshot's generation. Heartbeats carry the leader's published
+// generation so followers can measure staleness, and double as
+// liveness: a follower that hears nothing for its read timeout
+// declares the leader lost and reconnects (or is promoted).
+package replica
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/obsv"
+	"chainsplit/internal/retry"
+	"chainsplit/internal/wal"
+)
+
+// Message types on the replication stream.
+const (
+	MsgRecord    byte = 1
+	MsgSnapshot  byte = 2
+	MsgHeartbeat byte = 3
+)
+
+// handshakeMagic opens every follower connection; the leader echoes
+// it. The trailing digits version the protocol.
+var handshakeMagic = []byte("CSREPL01")
+
+// Tunables. Zero values in LeaderConfig/FollowerConfig take these.
+const (
+	defaultHeartbeat   = 25 * time.Millisecond
+	defaultPoll        = 2 * time.Millisecond
+	defaultReadTimeout = 250 * time.Millisecond
+	dialTimeout        = time.Second
+)
+
+// send pushes one pre-framed chunk through the fault sites and onto
+// the connection: the lag site first (a sleeping hook injects link
+// delay), then the send data site (which can partition the link or
+// mangle the bytes), then the actual write.
+func send(conn net.Conn, b []byte) error {
+	if err := faultinject.Fire(faultinject.SiteReplicaLag); err != nil {
+		return err
+	}
+	b, err := faultinject.FireData(faultinject.SiteReplicaSend, b)
+	if err != nil {
+		return err
+	}
+	n, err := conn.Write(b)
+	obsv.ReplicaBytesShipped.Add(int64(n))
+	return err
+}
+
+// recvReader passes everything read from the connection through the
+// recv data site, so tests can inject short reads, bit flips, or a
+// receive-side partition.
+type recvReader struct{ c net.Conn }
+
+func (r recvReader) Read(p []byte) (int, error) {
+	n, err := r.c.Read(p)
+	if n > 0 {
+		b, ferr := faultinject.FireData(faultinject.SiteReplicaRecv, p[:n])
+		if ferr != nil {
+			return 0, ferr
+		}
+		n = copy(p, b)
+	}
+	return n, err
+}
+
+// LeaderConfig tunes a leader; the zero value means defaults.
+type LeaderConfig struct {
+	// Heartbeat is the interval between heartbeat frames on an idle
+	// connection (default 25ms).
+	Heartbeat time.Duration
+	// Poll is the interval at which an idle connection re-polls the
+	// log tail for new records (default 2ms).
+	Poll time.Duration
+}
+
+// Leader serves a durable database's WAL to followers.
+type Leader struct {
+	db  *core.DB
+	dir string
+	cfg LeaderConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Serve starts serving db's write-ahead log on addr (e.g.
+// "127.0.0.1:0"); the database must be durable — replication streams
+// the on-disk log. Serving is read-only with respect to db: the
+// leader tails the log files without touching the store's writer
+// state, so queries and mutations proceed untouched.
+func Serve(db *core.DB, addr string, cfg LeaderConfig) (*Leader, error) {
+	dir := db.DurableDir()
+	if dir == "" {
+		return nil, errors.New("replica: only a durable database can lead (no store directory)")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = defaultHeartbeat
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = defaultPoll
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Leader{
+		db: db, dir: dir, cfg: cfg, ln: ln,
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the address the leader listens on.
+func (l *Leader) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting followers and tears down every replication
+// connection. The database itself is untouched.
+func (l *Leader) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.stop)
+	err := l.ln.Close()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+func (l *Leader) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (fd exhaustion, aborted
+			// connection): back off briefly and keep serving rather
+			// than silently going deaf to new followers.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.serveConn(conn)
+	}
+}
+
+// serveConn runs one follower connection to completion. Any error —
+// injected partition, dead peer, poisoned tail — just ends the
+// connection; the follower reconnects and resumes from its durable
+// position.
+func (l *Leader) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		l.wg.Done()
+	}()
+
+	// Handshake: magic + the follower's resume position.
+	var hs [16]byte
+	conn.SetReadDeadline(time.Now().Add(dialTimeout))
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if string(hs[:8]) != string(handshakeMagic) {
+		return
+	}
+	after := binary.BigEndian.Uint64(hs[8:])
+	if after > l.db.Generation() {
+		// A follower ahead of this leader has diverged (it applied
+		// generations this log never held). Refuse the stream rather
+		// than ship records that would silently fork its history.
+		return
+	}
+	if err := send(conn, handshakeMagic); err != nil {
+		return
+	}
+
+	tail, err := l.openTail(conn, after)
+	if err != nil {
+		return
+	}
+	// tail is reassigned (and may be nil) after a mid-stream
+	// re-snapshot; close whatever is current on the way out.
+	defer func() {
+		if tail != nil {
+			tail.Close()
+		}
+	}()
+
+	enc := wal.NewEncDict()
+	lastBeat := time.Now()
+	for {
+		select {
+		case <-l.stop:
+			return
+		default:
+		}
+		recs, perr := tail.Poll()
+		for _, rec := range recs {
+			payload, err := wal.EncodeRecord(rec, enc)
+			if err != nil {
+				return
+			}
+			if err := send(conn, wal.Frame(append([]byte{MsgRecord}, payload...))); err != nil {
+				return
+			}
+			obsv.ReplicaRecordsShipped.Inc()
+		}
+		if perr != nil {
+			// The tail is unusable — most commonly ErrTailLost after a
+			// rotation pruned the follower's next segment while it
+			// lagged. Restart the stream from a full snapshot; any
+			// other failure (corruption in our own log) ends the
+			// connection, and the next connect will fail the same way
+			// rather than ship bad state.
+			if !errors.Is(perr, wal.ErrTailLost) && !isMissingSegment(perr) {
+				return
+			}
+			tail.Close()
+			tail, err = l.openTail(conn, ^uint64(0))
+			if err != nil {
+				return
+			}
+			enc = wal.NewEncDict()
+			continue
+		}
+		if len(recs) == 0 {
+			if time.Since(lastBeat) >= l.cfg.Heartbeat {
+				var hb [9]byte
+				hb[0] = MsgHeartbeat
+				binary.BigEndian.PutUint64(hb[1:], l.db.Generation())
+				if err := send(conn, wal.Frame(hb[:])); err != nil {
+					return
+				}
+				lastBeat = time.Now()
+			}
+			select {
+			case <-l.stop:
+				return
+			case <-time.After(l.cfg.Poll):
+			}
+		}
+	}
+}
+
+// openTail opens the log tail at position after, falling back to a
+// full snapshot ship when that position has left retained history
+// (after = ^uint64(0) forces the snapshot path). The returned tail is
+// positioned so the next shipped record continues the stream the
+// follower has durably applied.
+func (l *Leader) openTail(conn net.Conn, after uint64) (*wal.Tail, error) {
+	if after != ^uint64(0) {
+		tail, err := wal.OpenTail(l.dir, after)
+		if err == nil {
+			return tail, nil
+		}
+		if !errors.Is(err, wal.ErrTailLost) {
+			return nil, err
+		}
+	}
+	snap := l.db.SnapshotImage()
+	data, err := wal.EncodeSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	if err := send(conn, wal.Frame(append([]byte{MsgSnapshot}, data...))); err != nil {
+		return nil, err
+	}
+	obsv.ReplicaSnapshotsShipped.Inc()
+	return wal.OpenTail(l.dir, snap.Seq)
+}
+
+// isMissingSegment reports a rotation race: the tail tried to open a
+// segment the leader pruned between the directory scan and the open.
+func isMissingSegment(err error) bool {
+	var perr *fs.PathError
+	return errors.As(err, &perr)
+}
+
+// FollowerConfig tunes a follower session; the zero value means
+// defaults.
+type FollowerConfig struct {
+	// ReadTimeout is how long the follower waits for any frame (a
+	// record or a heartbeat) before declaring the leader lost and
+	// reconnecting (default 250ms — ten heartbeat intervals).
+	ReadTimeout time.Duration
+	// Retry is the reconnect backoff policy. The zero value becomes
+	// effectively-unbounded attempts with 5ms..250ms jittered backoff;
+	// set MaxAttempts to bound how long a session outlives its leader.
+	Retry retry.Policy
+}
+
+// Session is a running follower: a background goroutine that tails
+// the leader, applies shipped records to the (read-only) database,
+// and tracks staleness. Stop it before promoting the database.
+type Session struct {
+	db   *core.DB
+	addr string
+	cfg  FollowerConfig
+
+	// lastSync is the wall clock (UnixNano) of the last moment the
+	// follower knew it was caught up with the leader's published
+	// generation; Staleness measures from it.
+	lastSync  atomic.Int64
+	leaderGen atomic.Uint64
+	connected atomic.Bool
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	cancel func()
+	done   chan struct{}
+}
+
+// StartFollower begins tailing the leader at addr into db, which must
+// be a follower database (core.NewFollower / core.OpenFollowerDir).
+// The session runs until Stop; connection failures reconnect with the
+// configured backoff and resume from the database's durable position.
+func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, error) {
+	if !db.Follower() {
+		return nil, errors.New("replica: StartFollower needs a follower database")
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = defaultReadTimeout
+	}
+	pol := cfg.Retry
+	if pol.MaxAttempts <= 1 {
+		pol.MaxAttempts = 1 << 30
+	}
+	if pol.BaseDelay <= 0 {
+		pol.BaseDelay = 5 * time.Millisecond
+	}
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = 250 * time.Millisecond
+	}
+	if pol.Jitter == 0 {
+		pol.Jitter = 0.2
+	}
+	pol.Retryable = func(error) bool { return true }
+	cfg.Retry = pol
+
+	s := &Session{db: db, addr: addr, cfg: cfg, done: make(chan struct{})}
+	s.lastSync.Store(time.Now().UnixNano())
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	go func() {
+		defer close(s.done)
+		first := true
+		s.cfg.Retry.Do(ctx, func() error {
+			if !first {
+				obsv.ReplicaReconnects.Inc()
+			}
+			first = false
+			err := s.streamOnce(ctx)
+			if err == nil {
+				// A cleanly closed stream still means the leader went
+				// away; keep reconnecting until stopped.
+				err = errors.New("replica: stream ended")
+			}
+			return err
+		})
+	}()
+	return s, nil
+}
+
+// streamOnce runs one connection: dial, handshake, then apply frames
+// until something fails. Every failure path drops the connection
+// without applying the offending frame — corrupt data never reaches
+// the database, it is re-requested on the next connect.
+func (s *Session) streamOnce(ctx context.Context) error {
+	conn, err := net.DialTimeout("tcp", s.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.conn = nil
+		s.mu.Unlock()
+		s.connected.Store(false)
+		conn.Close()
+	}()
+
+	var hs [16]byte
+	copy(hs[:8], handshakeMagic)
+	binary.BigEndian.PutUint64(hs[8:], s.db.Generation())
+	conn.SetWriteDeadline(time.Now().Add(dialTimeout))
+	if _, err := conn.Write(hs[:]); err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	r := recvReader{conn}
+	var echo [8]byte
+	conn.SetReadDeadline(time.Now().Add(dialTimeout))
+	if _, err := io.ReadFull(r, echo[:]); err != nil {
+		return err
+	}
+	if string(echo[:]) != string(handshakeMagic) {
+		return fmt.Errorf("%w: replication handshake echo mismatch", wal.ErrCorrupt)
+	}
+	s.connected.Store(true)
+
+	dec := wal.NewDecDict()
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		payload, err := wal.ReadFrame(r)
+		if err != nil {
+			// Timeout = leader loss; corrupt frame = poisoned stream.
+			// Either way: drop and reconnect, never apply.
+			return err
+		}
+		if len(payload) == 0 {
+			return fmt.Errorf("%w: empty replication frame", wal.ErrCorrupt)
+		}
+		switch payload[0] {
+		case MsgRecord:
+			rec, err := wal.DecodeRecord(payload[1:], dec)
+			if err != nil {
+				return err
+			}
+			if rec.Seq <= s.db.Generation() {
+				continue // duplicate after a snapshot restart mid-stream
+			}
+			if err := s.db.ApplyReplica(rec); err != nil {
+				return err
+			}
+			if rec.Seq >= s.leaderGen.Load() {
+				s.lastSync.Store(time.Now().UnixNano())
+			}
+		case MsgSnapshot:
+			snap, err := wal.DecodeSnapshot(payload[1:])
+			if err != nil {
+				return err
+			}
+			if err := s.db.BootstrapReplica(snap); err != nil {
+				return err
+			}
+			dec = wal.NewDecDict()
+			if snap.Seq >= s.leaderGen.Load() {
+				s.lastSync.Store(time.Now().UnixNano())
+			}
+		case MsgHeartbeat:
+			if len(payload) != 9 {
+				return fmt.Errorf("%w: heartbeat frame of %d bytes", wal.ErrCorrupt, len(payload))
+			}
+			gen := binary.BigEndian.Uint64(payload[1:])
+			s.leaderGen.Store(gen)
+			if s.db.Generation() >= gen {
+				s.lastSync.Store(time.Now().UnixNano())
+			}
+		default:
+			return fmt.Errorf("%w: unknown replication message type %d", wal.ErrCorrupt, payload[0])
+		}
+	}
+}
+
+// Staleness returns how long ago the follower last knew it was caught
+// up with the leader's published generation. It grows while the
+// follower lags, is partitioned, or the leader is down; the serving
+// layer sheds reads with ErrStale when it exceeds the configured
+// bound.
+func (s *Session) Staleness() time.Duration {
+	return time.Since(time.Unix(0, s.lastSync.Load()))
+}
+
+// LeaderGen returns the leader's last heard published generation (0
+// before the first heartbeat).
+func (s *Session) LeaderGen() uint64 { return s.leaderGen.Load() }
+
+// Connected reports whether a replication stream is currently up.
+func (s *Session) Connected() bool { return s.connected.Load() }
+
+// Stop ends the session: no more records will be applied once it
+// returns. The database stays a follower; promote it separately.
+func (s *Session) Stop() {
+	s.cancel()
+	s.mu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+}

@@ -3,6 +3,7 @@ package retry
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -202,5 +203,115 @@ func TestCustomRetryable(t *testing.T) {
 	})
 	if calls != 3 || !errors.Is(err, sentinel) {
 		t.Errorf("calls=%d err=%v", calls, err)
+	}
+}
+
+// TestConcurrentDoSharedPolicy hammers one shared Policy value from
+// many goroutines at once — the replication layer does exactly this
+// (every follower session retries through its session's Policy), so Do
+// must be safe for concurrent use without any external locking, with
+// per-call attempt counts and backoff schedules that never interfere.
+func TestConcurrentDoSharedPolicy(t *testing.T) {
+	sentinel := errors.New("flaky")
+	shared := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    50 * time.Microsecond,
+		Jitter:      0.5,
+		Retryable:   func(err error) bool { return errors.Is(err, sentinel) },
+	}
+	const workers = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Each call fails a per-call number of times, then
+				// succeeds; the retries count Do reports must match
+				// this call's schedule exactly, untouched by the other
+				// goroutines retrying through the same Policy.
+				wantFails := (w + i) % shared.MaxAttempts
+				calls := 0
+				retries, err := shared.Do(context.Background(), func() error {
+					if calls++; calls <= wantFails {
+						return sentinel
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("worker %d call %d: %v", w, i, err)
+					return
+				}
+				if retries != wantFails || calls != wantFails+1 {
+					t.Errorf("worker %d call %d: retries=%d calls=%d, want %d fails",
+						w, i, retries, calls, wantFails)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentDoSeeded: a nonzero Seed must stay reproducible per Do
+// call even when calls run concurrently (each call gets its own
+// generator; none shares rng state).
+func TestConcurrentDoSeeded(t *testing.T) {
+	sentinel := errors.New("flaky")
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		Jitter:      0.9,
+		Seed:        42,
+		Retryable:   func(err error) bool { return errors.Is(err, sentinel) },
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			retries, err := p.Do(context.Background(), func() error { return sentinel })
+			if !errors.Is(err, sentinel) || retries != 2 {
+				t.Errorf("retries=%d err=%v", retries, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentDoCancellation: canceling the context interrupts
+// sleeping retriers promptly even under concurrency.
+func TestConcurrentDoCancellation(t *testing.T) {
+	sentinel := errors.New("flaky")
+	p := Policy{
+		MaxAttempts: 1 << 30,
+		BaseDelay:   time.Hour, // sleep forever unless cancellation interrupts
+		Retryable:   func(err error) bool { return true },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := p.Do(ctx, func() error { return sentinel })
+			// The attempt error is kept (the caller cares what failed,
+			// not that the retry loop was interrupted).
+			if !errors.Is(err, sentinel) && !errors.Is(err, context.Canceled) &&
+				!errors.Is(err, everr.ErrCanceled) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt sleeping retriers")
 	}
 }

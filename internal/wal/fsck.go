@@ -1,10 +1,16 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 )
+
+// ErrNoStore reports a directory that holds no durable store at all —
+// no snapshots and no log segments. It is a usage error, not
+// corruption: there is no state whose integrity could be in question.
+var ErrNoStore = errors.New("wal: no durable store in directory")
 
 // Report is the result of an integrity check over a store directory.
 type Report struct {
@@ -58,13 +64,14 @@ func (r *Report) String() string {
 // in the report.
 func Fsck(dir string) (*Report, error) {
 	rep := &Report{Dir: dir}
-	snaps, segs, err := listDir(dir)
+	// Fsck must not modify the directory it checks, so it uses the
+	// read-only scan (no .tmp cleanup).
+	snaps, segs, err := scanDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(snaps) == 0 && len(segs) == 0 {
-		rep.problemf("no snapshots and no log segments in %s", dir)
-		return rep, nil
+		return nil, fmt.Errorf("%w: %s", ErrNoStore, dir)
 	}
 
 	// Snapshots: every one on disk must validate, even superseded

@@ -90,11 +90,31 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 }
 
 // listDir returns the snapshot seqs and segment start seqs present in
-// dir, each sorted ascending.
+// dir, each sorted ascending, removing leftover .tmp files from
+// crashed snapshot writes along the way. Only the store's owner (Open,
+// WriteSnapshot) may call it; read-only observers — fsck, replication
+// tails — use scanDir, which must not race a live store's in-flight
+// snapshot temp file away.
 func listDir(dir string) (snaps, segs []uint64, err error) {
+	snaps, segs, tmps, err := scanDirTmp(dir)
+	for _, name := range tmps {
+		// A crashed snapshot write; it never became visible.
+		os.Remove(filepath.Join(dir, name))
+	}
+	return snaps, segs, err
+}
+
+// scanDir is the read-only variant of listDir: same listing, no
+// cleanup side effects.
+func scanDir(dir string) (snaps, segs []uint64, err error) {
+	snaps, segs, _, err = scanDirTmp(dir)
+	return snaps, segs, err
+}
+
+func scanDirTmp(dir string) (snaps, segs []uint64, tmps []string, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, e := range entries {
 		if e.IsDir() {
@@ -105,13 +125,12 @@ func listDir(dir string) (snaps, segs []uint64, err error) {
 		} else if v, ok := parseSeq(e.Name(), segPrefix, segSuffix); ok {
 			segs = append(segs, v)
 		} else if strings.HasSuffix(e.Name(), tmpSuffix) {
-			// A crashed snapshot write; it never became visible.
-			os.Remove(filepath.Join(dir, e.Name()))
+			tmps = append(tmps, e.Name())
 		}
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
-	return snaps, segs, nil
+	return snaps, segs, tmps, nil
 }
 
 // readDurable reads a whole file, passing the bytes through the
@@ -281,6 +300,9 @@ func (s *Store) LastSeq() uint64 { return s.lastSeq }
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Options returns the options the store was opened with.
+func (s *Store) Options() Options { return s.opts }
+
 // Append frames, checksums, writes and fsyncs one record. r.Seq must
 // be exactly LastSeq()+1 — generations are contiguous by construction
 // and recovery verifies it. On any failure the store turns fail-stop:
@@ -336,6 +358,19 @@ func (s *Store) sync() error {
 		return nil
 	}
 	return s.f.Sync()
+}
+
+// Sync fsyncs the active segment on demand. Promotion uses it: a
+// follower must make its applied tail durable before it starts
+// accepting writes as the new leader.
+func (s *Store) Sync() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.f == nil {
+		return errClosed
+	}
+	return s.sync()
 }
 
 // errClosed refuses use of a closed store, so a closed durable
