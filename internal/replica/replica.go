@@ -16,12 +16,13 @@
 // # Wire protocol
 //
 // A follower connects over TCP and sends a 16-byte handshake: the
-// magic "CSREPL01" followed by its current generation (uint64 BE).
+// magic "CSREPL02" followed by its current generation (uint64 BE).
 // The leader echoes the 8-byte magic and then streams frames, each a
-// wal.Frame whose payload begins with a message type byte:
+// wal.Frame whose payload begins with a message type byte and the
+// leader's published generation at the moment the frame was built:
 //
-//	MsgRecord    1 | record payload (wal.EncodeRecord, stream dict)
-//	MsgSnapshot  2 | snapshot image (wal.EncodeSnapshot)
+//	MsgRecord    1 | leader generation uint64 BE | record payload (wal.EncodeRecord, stream dict)
+//	MsgSnapshot  2 | leader generation uint64 BE | snapshot image (wal.EncodeSnapshot)
 //	MsgHeartbeat 3 | leader generation uint64 BE
 //
 // Records ship in generation order, re-encoded against a
@@ -29,10 +30,13 @@
 // would dangle across segment boundaries the follower never sees). A
 // follower whose position has left the leader's retained history gets
 // a full snapshot first (MsgSnapshot), then records from the
-// snapshot's generation. Heartbeats carry the leader's published
-// generation so followers can measure staleness, and double as
-// liveness: a follower that hears nothing for its read timeout
-// declares the leader lost and reconnects (or is promoted).
+// snapshot's generation. Every frame carries the leader's current
+// generation — not just heartbeats — so a follower streaming a
+// backlog after a partition measures staleness against where the
+// leader is *now*, and a catch-up record can never masquerade as
+// being in sync. Frames also double as liveness: a follower that
+// hears nothing for its read timeout declares the leader lost and
+// reconnects (or is promoted).
 package replica
 
 import (
@@ -63,7 +67,7 @@ const (
 
 // handshakeMagic opens every follower connection; the leader echoes
 // it. The trailing digits version the protocol.
-var handshakeMagic = []byte("CSREPL01")
+var handshakeMagic = []byte("CSREPL02")
 
 // Tunables. Zero values in LeaderConfig/FollowerConfig take these.
 const (
@@ -71,6 +75,14 @@ const (
 	defaultPoll        = 2 * time.Millisecond
 	defaultReadTimeout = 250 * time.Millisecond
 	dialTimeout        = time.Second
+	// writeTimeout bounds every leader-side write. A silently
+	// partitioned or stalled follower would otherwise block conn.Write
+	// until the kernel's TCP retransmission timeout (~15 minutes) once
+	// the socket buffer fills, pinning the serveConn goroutine and its
+	// wal.Tail fd (which holds pruned segments' disk space). Generous
+	// enough for a full snapshot ship on a slow link, tiny next to the
+	// kernel default.
+	writeTimeout = 2 * time.Second
 )
 
 // send pushes one pre-framed chunk through the fault sites and onto
@@ -85,6 +97,7 @@ func send(conn net.Conn, b []byte) error {
 	if err != nil {
 		return err
 	}
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	n, err := conn.Write(b)
 	obsv.ReplicaBytesShipped.Add(int64(n))
 	return err
@@ -276,10 +289,16 @@ func (l *Leader) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if err := send(conn, wal.Frame(append([]byte{MsgRecord}, payload...))); err != nil {
+			if err := send(conn, l.frame(MsgRecord, payload)); err != nil {
 				return
 			}
 			obsv.ReplicaRecordsShipped.Inc()
+		}
+		if len(recs) > 0 {
+			// Records carry the leader generation too, so they serve a
+			// heartbeat's purpose; no separate beat is due while the
+			// stream flows.
+			lastBeat = time.Now()
 		}
 		if perr != nil {
 			// The tail is unusable — most commonly ErrTailLost after a
@@ -301,10 +320,7 @@ func (l *Leader) serveConn(conn net.Conn) {
 		}
 		if len(recs) == 0 {
 			if time.Since(lastBeat) >= l.cfg.Heartbeat {
-				var hb [9]byte
-				hb[0] = MsgHeartbeat
-				binary.BigEndian.PutUint64(hb[1:], l.db.Generation())
-				if err := send(conn, wal.Frame(hb[:])); err != nil {
+				if err := send(conn, l.frame(MsgHeartbeat, nil)); err != nil {
 					return
 				}
 				lastBeat = time.Now()
@@ -338,18 +354,31 @@ func (l *Leader) openTail(conn net.Conn, after uint64) (*wal.Tail, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := send(conn, wal.Frame(append([]byte{MsgSnapshot}, data...))); err != nil {
+	if err := send(conn, l.frame(MsgSnapshot, data)); err != nil {
 		return nil, err
 	}
 	obsv.ReplicaSnapshotsShipped.Inc()
 	return wal.OpenTail(l.dir, snap.Seq)
 }
 
+// frame builds one replication frame: the message type byte, the
+// leader's published generation as of this instant, then the body.
+// Stamping the generation on every frame (not just heartbeats) is
+// what keeps follower staleness honest during backlog catch-up.
+func (l *Leader) frame(typ byte, body []byte) []byte {
+	buf := make([]byte, 9, 9+len(body))
+	buf[0] = typ
+	binary.BigEndian.PutUint64(buf[1:], l.db.Generation())
+	return wal.Frame(append(buf, body...))
+}
+
 // isMissingSegment reports a rotation race: the tail tried to open a
 // segment the leader pruned between the directory scan and the open.
+// Only a vanished file counts — a persistent open failure (EACCES, fd
+// exhaustion) must end the connection, not loop it through full
+// snapshot re-ships.
 func isMissingSegment(err error) bool {
-	var perr *fs.PathError
-	return errors.As(err, &perr)
+	return errors.Is(err, fs.ErrNotExist)
 }
 
 // FollowerConfig tunes a follower session; the zero value means
@@ -360,8 +389,12 @@ type FollowerConfig struct {
 	// reconnecting (default 250ms — ten heartbeat intervals).
 	ReadTimeout time.Duration
 	// Retry is the reconnect backoff policy. The zero value becomes
-	// effectively-unbounded attempts with 5ms..250ms jittered backoff;
-	// set MaxAttempts to bound how long a session outlives its leader.
+	// effectively-unbounded attempts with 5ms..250ms jittered backoff
+	// and every error retryable (connection failures are not in the
+	// everr taxonomy, so retry.DefaultRetryable would refuse them).
+	// Set MaxAttempts to bound how long a session outlives its leader
+	// — including 1 for a single attempt, per retry.Policy — or
+	// Retryable to stop on errors you consider fatal.
 	Retry retry.Policy
 }
 
@@ -399,7 +432,10 @@ func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, erro
 		cfg.ReadTimeout = defaultReadTimeout
 	}
 	pol := cfg.Retry
-	if pol.MaxAttempts <= 1 {
+	if pol.MaxAttempts == 0 {
+		// Only the zero value defaults to unbounded: a caller-supplied
+		// MaxAttempts (including 1, "retries disabled" per retry.Policy)
+		// is a deliberate bound and must be honored.
 		pol.MaxAttempts = 1 << 30
 	}
 	if pol.BaseDelay <= 0 {
@@ -411,7 +447,9 @@ func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, erro
 	if pol.Jitter == 0 {
 		pol.Jitter = 0.2
 	}
-	pol.Retryable = func(error) bool { return true }
+	if pol.Retryable == nil {
+		pol.Retryable = func(error) bool { return true }
+	}
 	cfg.Retry = pol
 
 	s := &Session{db: db, addr: addr, cfg: cfg, done: make(chan struct{})}
@@ -489,26 +527,34 @@ func (s *Session) streamOnce(ctx context.Context) error {
 			// Either way: drop and reconnect, never apply.
 			return err
 		}
-		if len(payload) == 0 {
-			return fmt.Errorf("%w: empty replication frame", wal.ErrCorrupt)
+		if len(payload) < 9 {
+			return fmt.Errorf("%w: replication frame of %d bytes", wal.ErrCorrupt, len(payload))
 		}
+		// Every frame opens with the leader's generation as of the
+		// moment it was built. Only reaching a generation heard *this*
+		// recently counts as in sync: a record applied mid-backlog has
+		// rec.Seq far below the gen riding on its own frame, so
+		// catch-up after a partition stays visibly stale until the
+		// follower actually draws level.
+		gen := binary.BigEndian.Uint64(payload[1:9])
+		s.leaderGen.Store(gen)
+		body := payload[9:]
 		switch payload[0] {
 		case MsgRecord:
-			rec, err := wal.DecodeRecord(payload[1:], dec)
+			rec, err := wal.DecodeRecord(body, dec)
 			if err != nil {
 				return err
 			}
-			if rec.Seq <= s.db.Generation() {
-				continue // duplicate after a snapshot restart mid-stream
-			}
-			if err := s.db.ApplyReplica(rec); err != nil {
-				return err
-			}
-			if rec.Seq >= s.leaderGen.Load() {
-				s.lastSync.Store(time.Now().UnixNano())
+			// rec.Seq <= Generation() is a duplicate after a snapshot
+			// restart mid-stream; skipping it still falls through to
+			// the sync check below.
+			if rec.Seq > s.db.Generation() {
+				if err := s.db.ApplyReplica(rec); err != nil {
+					return err
+				}
 			}
 		case MsgSnapshot:
-			snap, err := wal.DecodeSnapshot(payload[1:])
+			snap, err := wal.DecodeSnapshot(body)
 			if err != nil {
 				return err
 			}
@@ -516,20 +562,15 @@ func (s *Session) streamOnce(ctx context.Context) error {
 				return err
 			}
 			dec = wal.NewDecDict()
-			if snap.Seq >= s.leaderGen.Load() {
-				s.lastSync.Store(time.Now().UnixNano())
-			}
 		case MsgHeartbeat:
-			if len(payload) != 9 {
+			if len(body) != 0 {
 				return fmt.Errorf("%w: heartbeat frame of %d bytes", wal.ErrCorrupt, len(payload))
-			}
-			gen := binary.BigEndian.Uint64(payload[1:])
-			s.leaderGen.Store(gen)
-			if s.db.Generation() >= gen {
-				s.lastSync.Store(time.Now().UnixNano())
 			}
 		default:
 			return fmt.Errorf("%w: unknown replication message type %d", wal.ErrCorrupt, payload[0])
+		}
+		if s.db.Generation() >= gen {
+			s.lastSync.Store(time.Now().UnixNano())
 		}
 	}
 }
@@ -543,8 +584,8 @@ func (s *Session) Staleness() time.Duration {
 	return time.Since(time.Unix(0, s.lastSync.Load()))
 }
 
-// LeaderGen returns the leader's last heard published generation (0
-// before the first heartbeat).
+// LeaderGen returns the leader's last heard published generation —
+// every frame carries one — or 0 before the first frame.
 func (s *Session) LeaderGen() uint64 { return s.leaderGen.Load() }
 
 // Connected reports whether a replication stream is currently up.

@@ -298,6 +298,91 @@ func TestStalenessShedding(t *testing.T) {
 	}
 }
 
+// TestStalenessHonestDuringCatchUp pins the bounded-staleness
+// contract through a backlog replay: after a partition, the records a
+// follower streams to catch up carry old generations, and applying
+// them must NOT refresh staleness — the view is still behind the
+// leader. Reads stay ErrStale until the follower actually draws level
+// with the generation the leader advertises on every frame.
+func TestStalenessHonestDuringCatchUp(t *testing.T) {
+	leader, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.LoadFacts("n", [][]Term{{Int(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := OpenFollower(addr, Config{MaxStaleness: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	waitCaughtUp(t, follower, leader.Generation())
+
+	// Partition the follower's receive side and pile up a backlog.
+	restore := faultinject.SetData(faultinject.SiteReplicaRecv, func([]byte) ([]byte, error) {
+		return nil, fmt.Errorf("injected partition")
+	})
+	for i := 1; i <= 200; i++ {
+		if err := leader.LoadFacts("n", [][]Term{{Int(int64(i))}}); err != nil {
+			restore()
+			t.Fatal(err)
+		}
+	}
+	leaderGen := leader.Generation()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := follower.Query("?- n(X).")
+		if errors.Is(err, ErrStale) {
+			break
+		}
+		if err != nil {
+			restore()
+			t.Fatalf("partitioned follower read: got %v, want ErrStale", err)
+		}
+		if time.Now().After(deadline) {
+			restore()
+			t.Fatal("follower never went stale under a partition")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Heal, but lag every shipped frame so the catch-up window is wide
+	// enough to observe. The backlog records each carry a generation
+	// far below the leader's; a read served before the follower draws
+	// level would be the silently-stale answer the bound promises to
+	// shed.
+	restoreLag := faultinject.Set(faultinject.SiteReplicaLag, func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	defer restoreLag()
+	restore()
+
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		_, err := follower.Query("?- n(X).")
+		if err == nil {
+			if got := follower.Generation(); got < leaderGen {
+				t.Fatalf("read served at generation %d while still catching up to %d", got, leaderGen)
+			}
+			break
+		}
+		if !errors.Is(err, ErrStale) {
+			t.Fatalf("catching-up follower read: got %v, want ErrStale", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up (at generation %d of %d)", follower.Generation(), leaderGen)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestCorruptFrameNeverApplied(t *testing.T) {
 	leader, err := OpenDir(t.TempDir())
 	if err != nil {
