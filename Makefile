@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet staticcheck race bench bench-smoke fuzz-smoke soak replica-soak
+.PHONY: build test check vet staticcheck race bench bench-smoke fuzz-smoke soak replica-soak cluster-soak
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,11 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
+# -shuffle=on randomizes test (and soak) execution order each run, so
+# inter-test state leaks — a listener not closed, a fault site left
+# set — surface instead of hiding behind a fixed order.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # `race` (and therefore `check`) already executes every chaos soak —
 # live, durable, and replicated — at their ~2s in-tree defaults; the
@@ -41,6 +44,11 @@ soak:
 # and corruption) — the fastest way to hammer internal/replica.
 replica-soak:
 	CHAINSPLIT_SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -count=1 -run 'ReplicaChaosSoak' -v .
+
+# Just the cluster soak (automated failover, epoch fencing, routed
+# reads/writes under leader crashes and coordinator partitions).
+cluster-soak:
+	CHAINSPLIT_SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -count=1 -run 'ClusterChaosSoak' -v .
 
 check: build vet staticcheck race
 

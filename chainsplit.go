@@ -281,6 +281,10 @@ type Config struct {
 	// reconnects and catches up. 0 means serve reads at any staleness.
 	// Only meaningful for databases opened with OpenFollower.
 	MaxStaleness time.Duration
+	// Cluster configures the self-healing replica group opened with
+	// OpenCluster (nil = defaults there); ignored by every other Open
+	// variant. See ClusterConfig and docs/cluster.md.
+	Cluster *ClusterConfig
 }
 
 // Open returns an empty in-memory database with default serving

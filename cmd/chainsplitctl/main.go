@@ -18,6 +18,12 @@
 //	chainsplitctl -follow host:7070 -q '…'     # read from a replica follower
 //	chainsplitctl -follow host:7070 -dir ./f   # durable follower (resumes on restart)
 //	chainsplitctl -follow … -max-staleness 1s  # bound how old served answers may be
+//	chainsplitctl -dir ./data -cluster 3 -q …  # self-healing replica group (docs/cluster.md)
+//
+// A server invocation (-serve, -follow or -cluster) given no query,
+// no -i and no embedded queries keeps serving until SIGINT or SIGTERM,
+// then shuts down gracefully: it stops accepting, flushes and fsyncs
+// the write-ahead log, closes cleanly and exits 0.
 //
 // Exit codes (documented in docs/robustness.md and docs/durability.md):
 //
@@ -38,7 +44,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"chainsplit"
@@ -74,6 +82,7 @@ func main() {
 	serve := flag.String("serve", "", "serve this database's write-ahead log to replica followers on addr (requires -dir)")
 	follow := flag.String("follow", "", "tail a replication leader at addr and serve read-only answers (with -dir the follower is durable and resumes after a restart)")
 	maxStale := flag.Duration("max-staleness", 0, "with -follow: refuse reads (exit 2) when the follower's view of the leader is older than this; 0 serves at any staleness")
+	clusterN := flag.Int("cluster", 0, "open a self-healing replica group of N nodes under -dir/node0..node<N-1>: automated failover with epoch fencing, health-aware read routing")
 	flag.Parse()
 
 	if *fsck {
@@ -116,16 +125,35 @@ func main() {
 	if *maxStale < 0 {
 		fail("negative -max-staleness %v (use 0 to serve at any staleness)", *maxStale)
 	}
-	if *maxStale > 0 && *follow == "" {
-		fail("-max-staleness only applies to a -follow replica")
+	if *maxStale > 0 && *follow == "" && *clusterN == 0 {
+		fail("-max-staleness only applies to a -follow replica or a -cluster group")
+	}
+	if *clusterN < 0 {
+		fail("negative -cluster %d", *clusterN)
+	}
+	if *clusterN > 0 {
+		if *dir == "" {
+			fail("-cluster needs -dir (each node stores its state under -dir/node<i>)")
+		}
+		if *follow != "" || *serve != "" {
+			fail("-cluster manages its own replication; drop -follow/-serve")
+		}
+		if *explain || *analyze || *dump || *compile != "" {
+			fail("-explain/-analyze/-dump/-compile run against a single database, not a -cluster group")
+		}
 	}
 
 	cfg := chainsplit.Config{MaxConcurrent: *concurrency, Workers: *workers, Dir: *dir, MaxStaleness: *maxStale}
 	var db *chainsplit.DB
+	var cl *chainsplit.Cluster
 	var err error
-	if *follow != "" {
+	switch {
+	case *clusterN > 0:
+		cfg.Cluster = &chainsplit.ClusterConfig{Replicas: *clusterN}
+		cl, err = chainsplit.OpenCluster(cfg)
+	case *follow != "":
 		db, err = chainsplit.OpenFollower(*follow, cfg)
-	} else {
+	default:
 		db, err = chainsplit.OpenWith(cfg)
 	}
 	if err != nil {
@@ -138,7 +166,29 @@ func main() {
 		}
 		fail("%v", err)
 	}
-	defer db.Close()
+	closeAll := func() error {
+		if cl != nil {
+			return cl.Close()
+		}
+		return db.Close()
+	}
+	defer closeAll()
+	execSrc := func(src string) error {
+		if cl != nil {
+			return cl.Exec(src)
+		}
+		return db.Exec(src)
+	}
+	queryFn := func(q string, opts ...chainsplit.Option) (*chainsplit.Result, error) {
+		if cl != nil {
+			return cl.Query(q, opts...)
+		}
+		return db.Query(q, opts...)
+	}
+	if cl != nil {
+		fmt.Fprintf(os.Stderr, "chainsplitctl: cluster of %d nodes under %s (leader epoch %d)\n",
+			*clusterN, *dir, cl.Epoch())
+	}
 	if *serve != "" {
 		addr, err := db.ServeReplication(*serve)
 		if err != nil {
@@ -175,15 +225,19 @@ func main() {
 		}
 		// Split out embedded queries so Exec accepts the rest.
 		prog, queries := splitQueries(string(data))
-		if err := db.Exec(prog); err != nil {
+		if err := execSrc(prog); err != nil {
 			fail("%s: %v", path, err)
 		}
 		embedded = append(embedded, queries...)
 	}
 
 	if *facts != "" {
+		var ldr factsLoader = db
+		if cl != nil {
+			ldr = cl
+		}
 		for _, spec := range strings.Split(*facts, ",") {
-			if err := loadTSV(db, spec); err != nil {
+			if err := loadTSV(ldr, spec); err != nil {
 				fail("%v", err)
 			}
 		}
@@ -236,7 +290,7 @@ func main() {
 			fmt.Printf("(%d answers, %s, %v)\n", len(an.Result.Rows), an.Result.Strategy, an.Result.Duration)
 			return nil
 		}
-		res, err := db.Query(q, opts...)
+		res, err := queryFn(q, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %s\n", limitMessage(err, *timeout))
 			return err
@@ -254,6 +308,13 @@ func main() {
 			errors.Is(err, chainsplit.ErrOverloaded) || errors.Is(err, chainsplit.ErrStale) {
 			os.Exit(2)
 		}
+	}
+
+	if cl != nil && (*query != "" || len(embedded) > 0) {
+		// One-shot reads round-robin over the followers; give them a
+		// bounded chance to apply what was just loaded so the answer
+		// does not depend on which replica the router picks.
+		cl.WaitReplicated(cl.Generation(), 0, 2*time.Second)
 	}
 
 	switch {
@@ -280,6 +341,23 @@ func main() {
 			fmt.Println()
 			exitOnLimit(err)
 		}
+	case *serve != "" || *follow != "" || cl != nil:
+		// A server with nothing else to do serves until told to stop,
+		// then shuts down gracefully: stop accepting, flush and fsync
+		// the log, close, exit 0. The readiness line is on stderr so
+		// scripts (and the re-exec test) can synchronize on it.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		// The handler is installed before the readiness line: a script
+		// that signals the moment it reads the line must never catch
+		// the default (killing) disposition.
+		fmt.Fprintln(os.Stderr, "chainsplitctl: serving until SIGINT/SIGTERM")
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "chainsplitctl: %v: shutting down\n", s)
+		if err := closeAll(); err != nil {
+			fail("shutdown: %v", err)
+		}
+		os.Exit(0)
 	default:
 		fail("no query: pass -q, -i, or a program with embedded ?- queries")
 	}
@@ -309,10 +387,16 @@ func limitMessage(err error, timeout time.Duration) string {
 	}
 }
 
+// factsLoader is the bulk-load surface loadTSV needs; *chainsplit.DB
+// and *chainsplit.Cluster both provide it.
+type factsLoader interface {
+	LoadFacts(pred string, tuples [][]chainsplit.Term) error
+}
+
 // loadTSV bulk-loads a "pred=path.tsv" spec: one fact per line, one
 // term per tab-separated column (terms in surface syntax: symbols,
 // integers, strings, lists).
-func loadTSV(db *chainsplit.DB, spec string) error {
+func loadTSV(db factsLoader, spec string) error {
 	eq := strings.IndexByte(spec, '=')
 	if eq <= 0 {
 		return fmt.Errorf("bad -facts spec %q (want pred=path.tsv)", spec)

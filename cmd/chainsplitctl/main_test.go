@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -161,6 +164,154 @@ func TestFollowFlag(t *testing.T) {
 	// -max-staleness without -follow is a usage error.
 	if _, code := runCtl(t, "-max-staleness", "1s", "-q", "?- p(X)."); code != 1 {
 		t.Errorf("-max-staleness without -follow: exit %d, want 1", code)
+	}
+}
+
+// startCtl launches chainsplitctl with args, waits (bounded) for the
+// marker line on stderr, and returns the running command plus its
+// stderr pipe. The caller owns shutdown.
+func startCtl(t *testing.T, marker string, args ...string) (*exec.Cmd, io.ReadCloser) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CHAINSPLITCTL_BE_MAIN=1",
+		"CHAINSPLITCTL_ARGS="+strings.Join(args, "\x1f"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	readyCh := make(chan []string, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+			if strings.Contains(lines[len(lines)-1], marker) {
+				readyCh <- lines
+				return
+			}
+		}
+		readyCh <- lines
+	}()
+	select {
+	case lines := <-readyCh:
+		if len(lines) == 0 || !strings.Contains(lines[len(lines)-1], marker) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("chainsplitctl %v never printed %q:\n%s", args, marker, strings.Join(lines, "\n"))
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("chainsplitctl %v: no %q within 15s", args, marker)
+	}
+	return cmd, stderr
+}
+
+// stopCtl sends sig and requires a clean exit (code 0) within the
+// deadline — the graceful-shutdown contract.
+func stopCtl(t *testing.T, cmd *exec.Cmd, stderr io.ReadCloser, sig os.Signal) {
+	t.Helper()
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		io.Copy(io.Discard, stderr)
+		done <- cmd.Wait()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after %v: %v (want clean exit 0)", sig, err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("server did not exit within 15s of %v", sig)
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	// A durable leader serving replication with no query to run: it
+	// must serve until SIGTERM, then flush, close and exit 0 — and the
+	// store it leaves behind must pass a strict fsck.
+	dir := t.TempDir()
+	db, err := chainsplit.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("p(a). p(b)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, stderr := startCtl(t, "serving until SIGINT/SIGTERM", "-dir", dir, "-serve", "127.0.0.1:0")
+	stopCtl(t, cmd, stderr, syscall.SIGTERM)
+
+	if out, code := runCtl(t, "-fsck", "-dir", dir); code != 0 {
+		t.Errorf("store dirty after graceful shutdown: exit %d\n%s", code, out)
+	}
+}
+
+func TestFollowGracefulShutdownOnInterrupt(t *testing.T) {
+	// A durable follower with no query tails its leader until SIGINT,
+	// then closes cleanly (exit 0) leaving a clean local store.
+	leader, err := chainsplit.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fdir := t.TempDir()
+	cmd, stderr := startCtl(t, "serving until SIGINT/SIGTERM", "-dir", fdir, "-follow", addr)
+	stopCtl(t, cmd, stderr, os.Interrupt)
+
+	if out, code := runCtl(t, "-fsck", "-dir", fdir); code != 0 {
+		t.Errorf("follower store dirty after graceful shutdown: exit %d\n%s", code, out)
+	}
+}
+
+func TestClusterFlag(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(t.TempDir(), "p.dl")
+	if err := os.WriteFile(prog, []byte("p(a). p(b).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runCtl(t, "-dir", dir, "-cluster", "3", "-q", "?- p(X).", prog)
+	if code != 0 || !strings.Contains(out, "X = a") || !strings.Contains(out, "X = b") {
+		t.Fatalf("cluster one-shot: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "cluster of 3 nodes") {
+		t.Errorf("cluster readiness line missing\n%s", out)
+	}
+	// Reopening the same directory recovers the group (a fresh epoch
+	// each open) and still serves the loaded facts.
+	out, code = runCtl(t, "-dir", dir, "-cluster", "3", "-q", "?- p(X).")
+	if code != 0 || !strings.Contains(out, "X = a") {
+		t.Fatalf("cluster reopen: exit %d\n%s", code, out)
+	}
+
+	// Usage errors.
+	if out, code := runCtl(t, "-cluster", "3", "-q", "?- p(X)."); code != 1 || !strings.Contains(out, "-cluster needs -dir") {
+		t.Errorf("-cluster without -dir: exit %d\n%s", code, out)
+	}
+	if _, code := runCtl(t, "-dir", dir, "-cluster", "3", "-serve", ":0"); code != 1 {
+		t.Errorf("-cluster with -serve: exit %d, want 1", code)
+	}
+	if _, code := runCtl(t, "-dir", dir, "-cluster", "3", "-explain", "-q", "?- p(X)."); code != 1 {
+		t.Errorf("-cluster with -explain: exit %d, want 1", code)
 	}
 }
 

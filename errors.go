@@ -43,6 +43,13 @@ var (
 	// read-only replica follower. Writes go to the leader; a follower
 	// becomes writable only through Promote.
 	ErrNotLeader = everr.ErrNotLeader
+	// ErrFenced marks a mutation attempted on a deposed leader: a
+	// successor was promoted under a higher epoch and this database has
+	// durably fenced itself, so it can never acknowledge a write the
+	// new leader's history will not contain. Fencing sticks across
+	// restarts; only an explicit Promote (a fresh epoch) makes the
+	// database writable again. See docs/cluster.md.
+	ErrFenced = everr.ErrFenced
 )
 
 // ErrNoStore matches the Fsck error for a directory that holds no

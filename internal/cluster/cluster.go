@@ -1,0 +1,241 @@
+// Package cluster is the self-healing coordination layer over
+// internal/replica: it watches a leader, fails over to the
+// most-caught-up durable follower when the leader stops answering,
+// and routes bounded-staleness reads across the healthy replicas.
+//
+// The package deliberately coordinates through the same primitives an
+// operator would use by hand — Promote, the resume handshake, epoch
+// fencing — so there is exactly one failover story whether a human or
+// the Coordinator runs it. What the Coordinator adds is the decision
+// procedure: heartbeat-based suspicion (K consecutive missed probes),
+// a deterministic successor rule (most-caught-up durable follower,
+// ties broken by smallest ID), and the fencing call that makes the
+// deposed leader refuse writes it could never get acknowledged.
+//
+// Safety leans entirely on the epoch machinery underneath: the
+// successor's Promote persists a higher epoch before it turns
+// writable, surviving followers adopt the higher epoch from the new
+// stream, and the old leader — whether fenced directly by the
+// Coordinator or later by a follower's handshake — fails mutations
+// with everr.ErrFenced. Two nodes can therefore never both
+// acknowledge writes in the same epoch, no matter how wrong the
+// failure detector was.
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/obsv"
+)
+
+// Node is one database in the cluster, as the coordinator and router
+// see it. The serving layer (package chainsplit) adapts its *DB to
+// this; tests use fakes.
+type Node interface {
+	// ID identifies the node stably and uniquely; successor ties are
+	// broken by the smallest ID, so the choice is deterministic across
+	// coordinators observing the same state.
+	ID() string
+	// Generation is the node's current applied generation.
+	Generation() uint64
+	// Epoch is the leader epoch the node currently serves under.
+	Epoch() uint64
+	// Durable reports whether the node has its own write-ahead log. A
+	// write is acknowledged durably only once a durable node holds it,
+	// so only durable nodes are eligible successors.
+	Durable() bool
+	// Probe checks liveness: nil if the node is up and serving.
+	Probe() error
+	// Promote makes the node a writable leader under a bumped epoch
+	// (core.DB.Promote semantics: exact last durable generation or a
+	// typed error).
+	Promote() error
+	// Lead starts (or returns) the node's replication listener and
+	// returns its address for followers to re-point at.
+	Lead() (string, error)
+	// Retarget re-points the node's follower session at a new leader
+	// address; the resume handshake continues from the node's own
+	// durable position.
+	Retarget(addr string) error
+	// Fence tells the node a higher epoch exists (core.DB.Fence): a
+	// no-op below the node's own epoch, durable deposition above it.
+	Fence(epoch uint64) error
+	// Staleness is the node's bounded-staleness measure (the session's
+	// time-since-sync, or 0 for a leader).
+	Staleness() time.Duration
+}
+
+// Config tunes a Coordinator; the zero value means defaults.
+type Config struct {
+	// Heartbeat is the leader probe cadence (default 20ms).
+	Heartbeat time.Duration
+	// SuspectAfter is how many consecutive failed probes depose the
+	// leader (default 4). With the default heartbeat, failover begins
+	// ~80ms after the leader stops answering.
+	SuspectAfter int
+}
+
+// Coordinator runs failure detection and failover for one cluster. It
+// probes the leader every Heartbeat; after SuspectAfter consecutive
+// failures it promotes the most-caught-up durable follower, fences
+// the old leader, re-points the survivors, and drops the deposed node
+// from the routing set.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	leader    Node
+	followers []Node
+	deposed   []Node
+
+	failovers atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCoordinator starts coordinating a cluster currently led by
+// leader, with followers already streaming from it. Close stops the
+// probe loop.
+func NewCoordinator(leader Node, followers []Node, cfg Config) *Coordinator {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 20 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 4
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		leader:    leader,
+		followers: append([]Node(nil), followers...),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// Leader returns the node currently routed writes.
+func (c *Coordinator) Leader() Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leader
+}
+
+// Followers returns the nodes currently routed reads (a copy).
+func (c *Coordinator) Followers() []Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Node(nil), c.followers...)
+}
+
+// Deposed returns the ex-leaders dropped from routing (a copy); they
+// are kept so callers can close or inspect them.
+func (c *Coordinator) Deposed() []Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Node(nil), c.deposed...)
+}
+
+// Failovers returns how many failovers this coordinator has committed.
+func (c *Coordinator) Failovers() int64 { return c.failovers.Load() }
+
+// Close stops the probe loop. The nodes themselves are untouched.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// run is the failure-detection loop: probe the leader each heartbeat,
+// count consecutive misses, fail over at the suspicion threshold. The
+// cluster.probe fault site gates only this liveness probe — injecting
+// an error there simulates a partition between coordinator and
+// leader — not the candidate filtering inside failover, so a chaos
+// hook that partitions the leader cannot also veto every successor.
+func (c *Coordinator) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	missed := 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		err := faultinject.Fire(faultinject.SiteClusterProbe)
+		if err == nil {
+			err = c.Leader().Probe()
+		}
+		if err == nil {
+			missed = 0
+			continue
+		}
+		missed++
+		if missed < c.cfg.SuspectAfter {
+			continue
+		}
+		if c.failover() {
+			missed = 0
+		}
+		// No eligible successor: keep the suspicion and retry next
+		// beat — a durable follower may catch up or come back.
+	}
+}
+
+// failover deposes the current leader: pick the most-caught-up live
+// durable follower (ties by smallest ID), promote it, fence the old
+// leader with the successor's new epoch, re-point the surviving
+// followers, and commit the new routing state. Returns false — with
+// no state changed — if no follower is eligible or promotion fails.
+func (c *Coordinator) failover() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var succ Node
+	for _, f := range c.followers {
+		if !f.Durable() || f.Probe() != nil {
+			continue
+		}
+		if succ == nil || f.Generation() > succ.Generation() ||
+			(f.Generation() == succ.Generation() && f.ID() < succ.ID()) {
+			succ = f
+		}
+	}
+	if succ == nil {
+		return false
+	}
+	if err := succ.Promote(); err != nil {
+		return false
+	}
+	addr, leadErr := succ.Lead()
+	old := c.leader
+	// Fence the deposed leader under the successor's epoch. Best
+	// effort: it may be dead, in which case the epoch on the wire
+	// fences it the moment it comes back and meets any survivor.
+	old.Fence(succ.Epoch())
+	rest := make([]Node, 0, len(c.followers))
+	for _, f := range c.followers {
+		if f == succ {
+			continue
+		}
+		if leadErr == nil {
+			f.Retarget(addr)
+		}
+		rest = append(rest, f)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].ID() < rest[j].ID() })
+	c.leader = succ
+	c.followers = rest
+	c.deposed = append(c.deposed, old)
+	c.failovers.Add(1)
+	obsv.ClusterFailovers.Inc()
+	return true
+}

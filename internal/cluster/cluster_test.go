@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chainsplit/internal/everr"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/retry"
+)
+
+// fakeNode scripts a Node for coordinator/router tests.
+type fakeNode struct {
+	id      string
+	durable bool
+
+	mu        sync.Mutex
+	gen       uint64
+	epoch     uint64
+	down      bool
+	promoted  bool
+	fencedAt  uint64
+	retargets []string
+	leadErr   error
+}
+
+func (n *fakeNode) ID() string { return n.id }
+func (n *fakeNode) Generation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gen
+}
+func (n *fakeNode) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+func (n *fakeNode) Durable() bool { return n.durable }
+func (n *fakeNode) Probe() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return errors.New("down")
+	}
+	return nil
+}
+func (n *fakeNode) Promote() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.promoted = true
+	n.epoch++
+	return nil
+}
+func (n *fakeNode) Lead() (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return "addr:" + n.id, n.leadErr
+}
+func (n *fakeNode) Retarget(addr string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.retargets = append(n.retargets, addr)
+	return nil
+}
+func (n *fakeNode) Fence(epoch uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if epoch > n.epoch {
+		n.fencedAt = epoch
+	}
+	return nil
+}
+func (n *fakeNode) Staleness() time.Duration { return 0 }
+
+func (n *fakeNode) setDown(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = v
+}
+
+func newCluster(t *testing.T, gens ...uint64) (*Coordinator, *fakeNode, []*fakeNode) {
+	t.Helper()
+	leader := &fakeNode{id: "n0", durable: true}
+	var followers []*fakeNode
+	var nodes []Node
+	for i, g := range gens {
+		f := &fakeNode{id: fmt.Sprintf("n%d", i+1), durable: true, gen: g}
+		followers = append(followers, f)
+		nodes = append(nodes, f)
+	}
+	c := NewCoordinator(leader, nodes, Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 3})
+	t.Cleanup(c.Close)
+	return c, leader, followers
+}
+
+func waitFailovers(t *testing.T, c *Coordinator, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Failovers() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck at %d failovers, want %d", c.Failovers(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFailoverPicksMostCaughtUpDurable(t *testing.T) {
+	c, leader, followers := newCluster(t, 5, 9, 7)
+	leader.setDown(true)
+	waitFailovers(t, c, 1)
+	if got := c.Leader().ID(); got != "n2" {
+		t.Fatalf("promoted %s, want n2 (generation 9)", got)
+	}
+	if !followers[1].promoted {
+		t.Fatal("successor was never promoted")
+	}
+	// The deposed leader is fenced with the successor's bumped epoch.
+	if got := leader.fencedAt; got != followers[1].Epoch() {
+		t.Fatalf("old leader fenced at epoch %d, successor at %d", got, followers[1].Epoch())
+	}
+	// Survivors are re-pointed at the successor's address.
+	for _, f := range []*fakeNode{followers[0], followers[2]} {
+		f.mu.Lock()
+		rt := append([]string(nil), f.retargets...)
+		f.mu.Unlock()
+		if len(rt) != 1 || rt[0] != "addr:n2" {
+			t.Fatalf("follower %s retargets = %v, want [addr:n2]", f.id, rt)
+		}
+	}
+	// The deposed node left the routing set.
+	for _, f := range c.Followers() {
+		if f.ID() == "n0" {
+			t.Fatal("deposed leader still in the follower set")
+		}
+	}
+	if d := c.Deposed(); len(d) != 1 || d[0].ID() != "n0" {
+		t.Fatalf("deposed set = %v", d)
+	}
+}
+
+func TestFailoverTiesBreakBySmallestID(t *testing.T) {
+	c, leader, _ := newCluster(t, 4, 4, 4)
+	leader.setDown(true)
+	waitFailovers(t, c, 1)
+	if got := c.Leader().ID(); got != "n1" {
+		t.Fatalf("promoted %s, want n1 (smallest ID at equal generation)", got)
+	}
+}
+
+func TestFailoverSkipsDeadAndNonDurable(t *testing.T) {
+	leader := &fakeNode{id: "n0", durable: true}
+	mem := &fakeNode{id: "n1", durable: false, gen: 99}
+	dead := &fakeNode{id: "n2", durable: true, gen: 50, down: true}
+	ok := &fakeNode{id: "n3", durable: true, gen: 10}
+	c := NewCoordinator(leader, []Node{mem, dead, ok}, Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 3})
+	defer c.Close()
+	leader.setDown(true)
+	waitFailovers(t, c, 1)
+	if got := c.Leader().ID(); got != "n3" {
+		t.Fatalf("promoted %s, want n3 (only live durable follower)", got)
+	}
+}
+
+func TestNoFailoverBelowSuspicionThreshold(t *testing.T) {
+	c, leader, _ := newCluster(t, 1)
+	// Blink the leader for a single probe at a time: suspicion must
+	// reset on every success and never reach the threshold.
+	for i := 0; i < 5; i++ {
+		leader.setDown(true)
+		time.Sleep(6 * time.Millisecond)
+		leader.setDown(false)
+		time.Sleep(12 * time.Millisecond)
+	}
+	if got := c.Failovers(); got != 0 {
+		t.Fatalf("%d failovers from sub-threshold blinks, want 0", got)
+	}
+}
+
+func TestProbeFaultSiteDrivesFailover(t *testing.T) {
+	c, _, _ := newCluster(t, 3)
+	restore := faultinject.Set(faultinject.SiteClusterProbe, func() error {
+		return errors.New("injected coordinator partition")
+	})
+	defer restore()
+	waitFailovers(t, c, 1)
+	restore()
+	if got := c.Leader().ID(); got != "n1" {
+		t.Fatalf("leader after injected partition = %s, want n1", got)
+	}
+}
+
+func TestRouterRoundRobinAndLeaderFallback(t *testing.T) {
+	c, _, followers := newCluster(t, 1, 1)
+	r := NewRouter(c, RouterConfig{})
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		v, err := r.Read(context.Background(), func(_ context.Context, n Node) (any, error) {
+			return n.ID(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[v.(string)]++
+	}
+	if seen["n1"] == 0 || seen["n2"] == 0 {
+		t.Fatalf("round robin never reached both followers: %v", seen)
+	}
+	if seen["n0"] != 0 {
+		t.Fatalf("leader served %d reads while followers were healthy", seen["n0"])
+	}
+	// All followers stale → every read lands on the leader.
+	_ = followers
+	v, err := r.Read(context.Background(), func(_ context.Context, n Node) (any, error) {
+		if n.ID() != "n0" {
+			return nil, everr.ErrStale
+		}
+		return n.ID(), nil
+	})
+	if err != nil || v.(string) != "n0" {
+		t.Fatalf("leader fallback: v=%v err=%v", v, err)
+	}
+}
+
+func TestRouterBreakerOpensAndRecovers(t *testing.T) {
+	c, _, _ := newCluster(t, 1)
+	r := NewRouter(c, RouterConfig{
+		FailureThreshold: 3,
+		Backoff:          retryPolicy(20 * time.Millisecond),
+	})
+	var attempts atomic.Int64
+	failing := func(_ context.Context, n Node) (any, error) {
+		if n.ID() == "n1" {
+			attempts.Add(1)
+			return nil, errors.New("connection refused")
+		}
+		return n.ID(), nil
+	}
+	// Three node faults open the breaker; further reads skip n1
+	// entirely (the leader serves them without n1 attempts growing).
+	for i := 0; i < 3; i++ {
+		if v, err := r.Read(context.Background(), failing); err != nil || v.(string) != "n0" {
+			t.Fatalf("read %d: v=%v err=%v", i, v, err)
+		}
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("n1 attempts before open = %d, want 3", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.Read(context.Background(), failing); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("open breaker still admitted attempts: %d, want 3", got)
+	}
+	// After the open interval, the half-open probe admits exactly one
+	// attempt; a success closes the breaker and n1 serves again.
+	time.Sleep(25 * time.Millisecond)
+	healed := func(_ context.Context, n Node) (any, error) { return n.ID(), nil }
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v, err := r.Read(context.Background(), healed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(string) == "n1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after the node healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// retryPolicy builds a jitter-free backoff with a fixed base for
+// deterministic breaker timing in tests (Jitter -1 is non-zero, so
+// the router's 0.2 default is not applied, and delay() ignores it).
+func retryPolicy(base time.Duration) retry.Policy {
+	return retry.Policy{BaseDelay: base, MaxDelay: base, Jitter: -1}
+}
+
+func TestRouterQueryErrorsDoNotTripBreaker(t *testing.T) {
+	c, _, _ := newCluster(t, 1)
+	r := NewRouter(c, RouterConfig{FailureThreshold: 2})
+	unsafe := func(_ context.Context, n Node) (any, error) { return nil, everr.ErrUnsafe }
+	for i := 0; i < 5; i++ {
+		if _, err := r.Read(context.Background(), unsafe); !errors.Is(err, everr.ErrUnsafe) {
+			t.Fatalf("read %d: %v, want ErrUnsafe", i, err)
+		}
+	}
+	// The follower must still be routed: deterministic query failures
+	// returned immediately, breaker untouched.
+	v, err := r.Read(context.Background(), func(_ context.Context, n Node) (any, error) {
+		return n.ID(), nil
+	})
+	if err != nil || v.(string) != "n1" {
+		t.Fatalf("follower skipped after query errors: v=%v err=%v", v, err)
+	}
+}
+
+func TestRouterHedgedRead(t *testing.T) {
+	c, _, _ := newCluster(t, 1, 1)
+	r := NewRouter(c, RouterConfig{HedgeAfter: 5 * time.Millisecond})
+	var first atomic.Bool
+	v, err := r.Read(context.Background(), func(_ context.Context, n Node) (any, error) {
+		if first.CompareAndSwap(false, true) {
+			// The first attempt stalls well past the hedge delay.
+			time.Sleep(200 * time.Millisecond)
+			return nil, errors.New("slow node finally failed")
+		}
+		return "hedged:" + n.ID(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := v.(string); s != "hedged:n2" && s != "hedged:n1" && s != "hedged:n0" {
+		t.Fatalf("unexpected hedge winner %q", s)
+	}
+}
+
+func TestNodeFaultClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{everr.ErrCanceled, false},
+		{everr.ErrDeadline, false},
+		{everr.ErrBudget, false},
+		{everr.ErrUnsafe, false},
+		{everr.ErrPlan, false},
+		{everr.ErrStale, true},
+		{everr.ErrOverloaded, true},
+		{everr.ErrPanic, true},
+		{everr.ErrFenced, true},
+		{everr.ErrNotLeader, true},
+		{errors.New("dial tcp: connection refused"), true},
+	} {
+		if got := nodeFault(tc.err); got != tc.want {
+			t.Errorf("nodeFault(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

@@ -292,6 +292,21 @@ type DB struct {
 	// ApplyReplica (shipped leader records) until Promote clears the
 	// flag. Atomic so the serving layer can read it without writeMu.
 	follower atomic.Bool
+
+	// epoch is the leader epoch this database serves under: bumped by
+	// Promote, adopted from the replication stream by followers, and —
+	// on durable databases — persisted beside the WAL so fencing
+	// decisions survive restarts. Atomic so the replication layer can
+	// stamp frames without writeMu; updated only under writeMu, after
+	// the persisted state.
+	epoch atomic.Uint64
+
+	// fenced marks a deposed leader: the database has learned of a
+	// higher epoch (a promoted successor) and refuses mutations with
+	// everr.ErrFenced. Fencing is persisted before it is visible, so a
+	// fenced ex-leader reopened from its own dir comes back read-only —
+	// never silently writable.
+	fenced atomic.Bool
 }
 
 // generation is one immutable database state: the programs, the EDB
@@ -375,6 +390,10 @@ func (db *DB) Load(p *program.Program) error {
 	defer db.writeMu.Unlock()
 	if db.follower.Load() {
 		return everr.ErrNotLeader
+	}
+	if db.fenced.Load() {
+		obsv.FencedWrites.Inc()
+		return everr.ErrFenced
 	}
 	next := db.buildProgramGen(p)
 	if db.store != nil {
@@ -648,6 +667,10 @@ func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 	defer db.writeMu.Unlock()
 	if db.follower.Load() {
 		return everr.ErrNotLeader
+	}
+	if db.fenced.Load() {
+		obsv.FencedWrites.Inc()
+		return everr.ErrFenced
 	}
 	next, err := db.buildTuplesGen(pred, tuples)
 	if err != nil {

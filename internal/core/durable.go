@@ -51,6 +51,16 @@ func OpenDir(dir string, opts wal.Options) (*DB, error) {
 		store.Close()
 		return nil, fmt.Errorf("%w: replay reached generation %d, log promises %d", wal.ErrCorrupt, got, rec.LastSeq)
 	}
+	// Epoch state recovers alongside the data: a database fenced before
+	// the crash reopens fenced — read-only in the epoch it was deposed
+	// from — and a promoted one reopens under its bumped epoch.
+	est, err := wal.ReadEpochState(dir)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	db.epoch.Store(est.Epoch)
+	db.fenced.Store(est.Fenced)
 	db.writeMu.Lock()
 	db.store = store
 	db.writeMu.Unlock()

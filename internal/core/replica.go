@@ -133,29 +133,110 @@ func (db *DB) BootstrapReplica(snap *wal.Snapshot) error {
 	return nil
 }
 
-// Promote turns the follower into a writable leader at exactly its
-// last durable generation: fsync the local log tail, verify the
-// published generation and the durable position agree, then clear the
-// follower flag. There is no third outcome — a follower whose log and
-// published state disagree refuses to promote (ErrCorrupt) rather
-// than inventing or dropping a generation. Promoting a leader is a
-// no-op, so retries are safe.
+// Promote turns the follower (or a fenced ex-leader) into a writable
+// leader at exactly its last durable generation: fsync the local log
+// tail, verify the published generation and the durable position
+// agree, then persist a bumped epoch and clear the read-only flags.
+// There is no third outcome — a follower whose log and published state
+// disagree refuses to promote (ErrCorrupt) rather than inventing or
+// dropping a generation, and a promotion whose epoch cannot be made
+// durable fails with the database still read-only. Promoting a
+// writable leader is a no-op, so retries are safe.
+//
+// The epoch bump is the fencing half of failover: the new leader's
+// frames carry the higher epoch, every follower that hears it adopts
+// it, and any surviving ex-leader that meets the higher epoch fences
+// itself. The bump is persisted *before* the database turns writable,
+// so a crash can lose a promotion but never produce a writable leader
+// in an unfenced old epoch.
 func (db *DB) Promote() error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
-	if !db.follower.Load() {
+	if !db.follower.Load() && !db.fenced.Load() {
 		return nil
 	}
 	if db.store != nil {
-		if err := db.store.Sync(); err != nil {
-			return fmt.Errorf("core: promote: fsync of the log tail failed: %w", err)
+		if db.follower.Load() {
+			if err := db.store.Sync(); err != nil {
+				return fmt.Errorf("core: promote: fsync of the log tail failed: %w", err)
+			}
+			if got, want := db.store.LastSeq(), db.current().seq; got != want {
+				return fmt.Errorf("%w: promote: durable log at generation %d, published state at %d", wal.ErrCorrupt, got, want)
+			}
 		}
-		if got, want := db.store.LastSeq(), db.current().seq; got != want {
-			return fmt.Errorf("%w: promote: durable log at generation %d, published state at %d", wal.ErrCorrupt, got, want)
+		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: db.epoch.Load() + 1}); err != nil {
+			return fmt.Errorf("core: promote: epoch bump not durable, still read-only: %w", err)
 		}
 	}
+	db.epoch.Add(1)
+	db.fenced.Store(false)
 	db.follower.Store(false)
 	obsv.ReplicaPromotions.Inc()
+	return nil
+}
+
+// Epoch returns the leader epoch the database currently serves under.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+
+// Fenced reports whether the database has fenced itself: it learned
+// of a higher epoch (a promoted successor) and refuses mutations with
+// everr.ErrFenced until promoted again.
+func (db *DB) Fenced() bool { return db.fenced.Load() }
+
+// Fence deposes the database on evidence of a higher epoch: mutations
+// start failing with everr.ErrFenced, durably — the fencing state is
+// persisted (under the database's OWN epoch, the one it was deposed
+// from) before it takes effect, so a reopened ex-leader comes back
+// read-only rather than silently writable. Evidence at or below the
+// database's own epoch is ignored: only a strictly newer leadership
+// term can depose. On a follower, fencing reduces to adopting the
+// higher epoch — the database is already read-only.
+func (db *DB) Fence(higher uint64) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if higher <= db.epoch.Load() {
+		return nil
+	}
+	if db.follower.Load() {
+		return db.adoptEpochLocked(higher)
+	}
+	if db.fenced.Load() {
+		return nil
+	}
+	if db.store != nil {
+		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: db.epoch.Load(), Fenced: true}); err != nil {
+			return fmt.Errorf("core: fence not durable: %w", err)
+		}
+	}
+	db.fenced.Store(true)
+	return nil
+}
+
+// AdoptEpoch records a higher leader epoch heard on the replication
+// stream. Followers call it when a frame or handshake carries an epoch
+// past their own; lower or equal epochs are ignored. On a durable
+// database the adopted epoch is persisted first, so a restarted
+// follower still refuses streams from deposed leaders.
+func (db *DB) AdoptEpoch(epoch uint64) error {
+	if epoch <= db.epoch.Load() {
+		return nil
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.adoptEpochLocked(epoch)
+}
+
+// adoptEpochLocked is AdoptEpoch under writeMu.
+func (db *DB) adoptEpochLocked(epoch uint64) error {
+	if epoch <= db.epoch.Load() {
+		return nil
+	}
+	if db.store != nil {
+		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: epoch, Fenced: db.fenced.Load()}); err != nil {
+			return fmt.Errorf("core: epoch adoption not durable: %w", err)
+		}
+	}
+	db.epoch.Store(epoch)
 	return nil
 }
 

@@ -59,6 +59,13 @@ var (
 	// follower. Writes go to the leader; a follower becomes writable
 	// only through an explicit promotion.
 	ErrNotLeader = errors.New("database is a read-only follower (not the leader)")
+	// ErrFenced reports a mutation attempted on a deposed leader: a
+	// successor was promoted under a higher epoch and this database has
+	// durably fenced itself. Unlike ErrNotLeader (a role the database
+	// was opened with), fencing is evidence-driven — the node learned of
+	// a newer epoch — and sticks across restarts until an explicit
+	// promotion under a fresh epoch.
+	ErrFenced = errors.New("leader is fenced (a successor holds a higher epoch)")
 )
 
 // Tag returns an error that renders exactly as msg but matches cause

@@ -54,6 +54,18 @@ const (
 	SiteReplicaLag  = "replica.lag"  // before each leader send (sleep = injected delay)
 )
 
+// The cluster injection sites wired into the coordination layer
+// (internal/cluster) and the epoch store (internal/wal). The probe
+// site fires before each coordinator liveness probe of the current
+// leader — an erroring hook partitions the coordinator from the
+// leader and drives an automated failover. The epoch data site carries
+// the encoded epoch state about to be persisted, so a hook can tear or
+// corrupt the fencing record itself.
+const (
+	SiteClusterProbe = "cluster.probe" // before each leader liveness probe
+	SiteReplicaEpoch = "replica.epoch" // bytes of the epoch-state file, pre-write
+)
+
 // ErrSkipOp, returned by a hook at a sync site, makes the caller skip
 // the real operation while reporting success — an injected "fsync
 // lie". Data already handed to the OS may then be lost on the next

@@ -152,6 +152,20 @@ var (
 	ReplicaStaleSheds = NewCounter("chainsplit_replica_stale_sheds_total", "follower reads shed with ErrStale")
 	// ReplicaPromotions counts followers promoted to writable leaders.
 	ReplicaPromotions = NewCounter("chainsplit_replica_promotions_total", "followers promoted to leader")
+
+	// ClusterFailovers counts automated failovers committed by cluster
+	// coordinators (leader suspected, successor promoted).
+	ClusterFailovers = NewCounter("chainsplit_cluster_failovers_total", "automated leader failovers committed by coordinators")
+	// FencedWrites counts mutations refused with ErrFenced by deposed
+	// leaders.
+	FencedWrites = NewCounter("chainsplit_fenced_writes_total", "mutations refused by fenced (deposed) leaders")
+	// BreakerTransitions counts per-node circuit-breaker state changes
+	// (closed→open, open→half-open, half-open→closed/open) in cluster
+	// read routers.
+	BreakerTransitions = NewCounter("chainsplit_cluster_breaker_transitions_total", "circuit-breaker state transitions in cluster routers")
+	// HedgedReads counts second (hedge) attempts launched by cluster
+	// routers for reads whose first replica was slow.
+	HedgedReads = NewCounter("chainsplit_cluster_hedged_reads_total", "hedge attempts launched for slow routed reads")
 )
 
 func init() {

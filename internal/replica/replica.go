@@ -15,15 +15,20 @@
 //
 // # Wire protocol
 //
-// A follower connects over TCP and sends a 16-byte handshake: the
-// magic "CSREPL02" followed by its current generation (uint64 BE).
-// The leader echoes the 8-byte magic and then streams frames, each a
-// wal.Frame whose payload begins with a message type byte and the
-// leader's published generation at the moment the frame was built:
+// Every byte on the wire is a wal.Frame (length | CRC-32C | payload) —
+// the handshake included, because since v3 it carries the epoch, and a
+// bit flip in an unprotected epoch would be adopted as fencing
+// evidence. A follower connects over TCP and sends one frame whose
+// payload is the magic "CSREPL03" followed by its current generation
+// (uint64 BE) and its current leader epoch (uint64 BE). The leader
+// answers with a frame holding the magic plus its own epoch (uint64
+// BE) and then streams frames whose payload begins with a message
+// type byte, the leader's epoch, and its published generation at the
+// moment the frame was built:
 //
-//	MsgRecord    1 | leader generation uint64 BE | record payload (wal.EncodeRecord, stream dict)
-//	MsgSnapshot  2 | leader generation uint64 BE | snapshot image (wal.EncodeSnapshot)
-//	MsgHeartbeat 3 | leader generation uint64 BE
+//	MsgRecord    1 | epoch uint64 BE | leader generation uint64 BE | record payload (wal.EncodeRecord, stream dict)
+//	MsgSnapshot  2 | epoch uint64 BE | leader generation uint64 BE | snapshot image (wal.EncodeSnapshot)
+//	MsgHeartbeat 3 | epoch uint64 BE | leader generation uint64 BE
 //
 // Records ship in generation order, re-encoded against a
 // per-connection dictionary (segment-local dictionaries from disk
@@ -37,6 +42,21 @@
 // being in sync. Frames also double as liveness: a follower that
 // hears nothing for its read timeout declares the leader lost and
 // reconnects (or is promoted).
+//
+// # Epoch fencing
+//
+// The epoch on the wire is the split-brain defense (see
+// docs/cluster.md). Promotion bumps the promoted database's durable
+// epoch, so the new leader streams under a strictly higher epoch than
+// the one it deposed. Both directions enforce it: a follower refuses
+// an echo or frame whose epoch is below its own (a deposed leader
+// cannot feed followers that have heard from its successor, even
+// after everyone restarts — epochs are persisted), and adopts any
+// higher epoch it hears; a leader that receives a handshake carrying
+// a higher epoch fences itself durably (core.DB.Fence) — its
+// mutations fail with everr.ErrFenced from then on — and refuses the
+// stream. A fenced leader also stops serving replication: its
+// history may diverge from the successor's past the fence point.
 package replica
 
 import (
@@ -44,7 +64,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"net"
 	"sync"
@@ -52,6 +71,7 @@ import (
 	"time"
 
 	"chainsplit/internal/core"
+	"chainsplit/internal/everr"
 	"chainsplit/internal/faultinject"
 	"chainsplit/internal/obsv"
 	"chainsplit/internal/retry"
@@ -67,7 +87,7 @@ const (
 
 // handshakeMagic opens every follower connection; the leader echoes
 // it. The trailing digits version the protocol.
-var handshakeMagic = []byte("CSREPL02")
+var handshakeMagic = []byte("CSREPL03")
 
 // Tunables. Zero values in LeaderConfig/FollowerConfig take these.
 const (
@@ -242,24 +262,43 @@ func (l *Leader) serveConn(conn net.Conn) {
 		l.wg.Done()
 	}()
 
-	// Handshake: magic + the follower's resume position.
-	var hs [16]byte
+	// Handshake: magic + the follower's resume position + its epoch,
+	// CRC-framed — a mangled epoch must fail the connection, never be
+	// mistaken for fencing evidence.
 	conn.SetReadDeadline(time.Now().Add(dialTimeout))
-	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+	hs, err := wal.ReadFrame(conn)
+	if err != nil || len(hs) != 24 {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 	if string(hs[:8]) != string(handshakeMagic) {
 		return
 	}
-	after := binary.BigEndian.Uint64(hs[8:])
+	if fe := binary.BigEndian.Uint64(hs[16:]); fe > l.db.Epoch() {
+		// The follower has heard from a leader of a higher epoch: this
+		// leader has been deposed and just found out. Fence durably —
+		// local mutations must start failing before this connection is
+		// even answered — and refuse the stream.
+		l.db.Fence(fe)
+		return
+	}
+	if l.db.Fenced() {
+		// A deposed leader stops replicating: its history may diverge
+		// from the successor's, and feeding it to followers would fork
+		// them too.
+		return
+	}
+	after := binary.BigEndian.Uint64(hs[8:16])
 	if after > l.db.Generation() {
 		// A follower ahead of this leader has diverged (it applied
 		// generations this log never held). Refuse the stream rather
 		// than ship records that would silently fork its history.
 		return
 	}
-	if err := send(conn, handshakeMagic); err != nil {
+	var echo [16]byte
+	copy(echo[:8], handshakeMagic)
+	binary.BigEndian.PutUint64(echo[8:], l.db.Epoch())
+	if err := send(conn, wal.Frame(echo[:])); err != nil {
 		return
 	}
 
@@ -362,13 +401,16 @@ func (l *Leader) openTail(conn net.Conn, after uint64) (*wal.Tail, error) {
 }
 
 // frame builds one replication frame: the message type byte, the
-// leader's published generation as of this instant, then the body.
-// Stamping the generation on every frame (not just heartbeats) is
-// what keeps follower staleness honest during backlog catch-up.
+// leader's epoch, its published generation as of this instant, then
+// the body. Stamping the generation on every frame (not just
+// heartbeats) is what keeps follower staleness honest during backlog
+// catch-up; stamping the epoch is what lets a follower reject a
+// deposed leader mid-stream.
 func (l *Leader) frame(typ byte, body []byte) []byte {
-	buf := make([]byte, 9, 9+len(body))
+	buf := make([]byte, 17, 17+len(body))
 	buf[0] = typ
-	binary.BigEndian.PutUint64(buf[1:], l.db.Generation())
+	binary.BigEndian.PutUint64(buf[1:9], l.db.Epoch())
+	binary.BigEndian.PutUint64(buf[9:17], l.db.Generation())
 	return wal.Frame(append(buf, body...))
 }
 
@@ -452,8 +494,11 @@ func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, erro
 	}
 	cfg.Retry = pol
 
+	// lastSync stays 0 ("never synced") until the first frame proves
+	// the follower level with the leader: a freshly started session
+	// must report maximal staleness, not a fresh sync point it never
+	// earned — bounded-staleness reads shed until the stream delivers.
 	s := &Session{db: db, addr: addr, cfg: cfg, done: make(chan struct{})}
-	s.lastSync.Store(time.Now().UnixNano())
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	go func() {
@@ -496,22 +541,32 @@ func (s *Session) streamOnce(ctx context.Context) error {
 		conn.Close()
 	}()
 
-	var hs [16]byte
+	var hs [24]byte
 	copy(hs[:8], handshakeMagic)
-	binary.BigEndian.PutUint64(hs[8:], s.db.Generation())
+	binary.BigEndian.PutUint64(hs[8:16], s.db.Generation())
+	binary.BigEndian.PutUint64(hs[16:], s.db.Epoch())
 	conn.SetWriteDeadline(time.Now().Add(dialTimeout))
-	if _, err := conn.Write(hs[:]); err != nil {
+	if _, err := conn.Write(wal.Frame(hs[:])); err != nil {
 		return err
 	}
 	conn.SetWriteDeadline(time.Time{})
 	r := recvReader{conn}
-	var echo [8]byte
 	conn.SetReadDeadline(time.Now().Add(dialTimeout))
-	if _, err := io.ReadFull(r, echo[:]); err != nil {
+	echo, err := wal.ReadFrame(r)
+	if err != nil {
 		return err
 	}
-	if string(echo[:]) != string(handshakeMagic) {
+	if len(echo) != 16 || string(echo[:8]) != string(handshakeMagic) {
 		return fmt.Errorf("%w: replication handshake echo mismatch", wal.ErrCorrupt)
+	}
+	if epoch := binary.BigEndian.Uint64(echo[8:]); epoch < s.db.Epoch() {
+		// A leader of a lower epoch is a deposed leader this follower
+		// has already outlived (it heard from the successor). Refuse —
+		// applying its records would fork the follower's history onto
+		// a dead branch.
+		return everr.Tag(fmt.Sprintf("replica: leader at deposed epoch %d, follower at %d", epoch, s.db.Epoch()), everr.ErrFenced)
+	} else if err := s.db.AdoptEpoch(epoch); err != nil {
+		return err
 	}
 	s.connected.Store(true)
 
@@ -527,18 +582,29 @@ func (s *Session) streamOnce(ctx context.Context) error {
 			// Either way: drop and reconnect, never apply.
 			return err
 		}
-		if len(payload) < 9 {
+		if len(payload) < 17 {
 			return fmt.Errorf("%w: replication frame of %d bytes", wal.ErrCorrupt, len(payload))
 		}
-		// Every frame opens with the leader's generation as of the
-		// moment it was built. Only reaching a generation heard *this*
-		// recently counts as in sync: a record applied mid-backlog has
-		// rec.Seq far below the gen riding on its own frame, so
-		// catch-up after a partition stays visibly stale until the
-		// follower actually draws level.
-		gen := binary.BigEndian.Uint64(payload[1:9])
+		// Every frame opens with the leader's epoch and its generation
+		// as of the moment the frame was built. A frame from a lower
+		// epoch is a deposed leader still talking — drop the stream
+		// before applying anything from the dead branch; a higher epoch
+		// is adopted (and persisted) before the frame is applied, so a
+		// restart cannot forget which leaders are already outlived.
+		epoch := binary.BigEndian.Uint64(payload[1:9])
+		if epoch < s.db.Epoch() {
+			return everr.Tag(fmt.Sprintf("replica: frame from deposed epoch %d, follower at %d", epoch, s.db.Epoch()), everr.ErrFenced)
+		}
+		if err := s.db.AdoptEpoch(epoch); err != nil {
+			return err
+		}
+		// Only reaching a generation heard *this* recently counts as in
+		// sync: a record applied mid-backlog has rec.Seq far below the
+		// gen riding on its own frame, so catch-up after a partition
+		// stays visibly stale until the follower actually draws level.
+		gen := binary.BigEndian.Uint64(payload[9:17])
 		s.leaderGen.Store(gen)
-		body := payload[9:]
+		body := payload[17:]
 		switch payload[0] {
 		case MsgRecord:
 			rec, err := wal.DecodeRecord(body, dec)
@@ -575,13 +641,24 @@ func (s *Session) streamOnce(ctx context.Context) error {
 	}
 }
 
+// StalenessUnknown is the Staleness of a session that has never had a
+// sync point: effectively infinite, so any finite staleness bound
+// sheds. Reporting "maximal", not zero, is the honest answer for a
+// follower that has not yet proven itself level with its leader.
+const StalenessUnknown = time.Duration(1<<63 - 1)
+
 // Staleness returns how long ago the follower last knew it was caught
 // up with the leader's published generation. It grows while the
 // follower lags, is partitioned, or the leader is down; the serving
 // layer sheds reads with ErrStale when it exceeds the configured
-// bound.
+// bound. Before the first sync point — a fresh session that has not
+// yet heard a frame proving it level — it is StalenessUnknown.
 func (s *Session) Staleness() time.Duration {
-	return time.Since(time.Unix(0, s.lastSync.Load()))
+	last := s.lastSync.Load()
+	if last == 0 {
+		return StalenessUnknown
+	}
+	return time.Since(time.Unix(0, last))
 }
 
 // LeaderGen returns the leader's last heard published generation —

@@ -101,6 +101,13 @@ func (p Policy) newRand() *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// Delay returns the backoff the policy would sleep before retry number
+// attempt (1-based): BaseDelay doubled attempt-1 times, capped at
+// MaxDelay, jittered. It lets other backoff consumers — the cluster
+// router's circuit breaker sizes its open intervals with it — share
+// one schedule definition instead of re-deriving the curve.
+func (p Policy) Delay(attempt int) time.Duration { return p.delay(attempt, nil) }
+
 // delay returns the backoff before retry number attempt (1-based):
 // BaseDelay doubled attempt-1 times, capped at MaxDelay, jittered from
 // rng (which may be nil when Jitter is zero).

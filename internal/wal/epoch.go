@@ -1,0 +1,106 @@
+package wal
+
+// The epoch state file: a tiny fixed-size record beside the log
+// segments persisting the leader epoch the database last served under
+// and whether it has fenced itself (learned of a successor's higher
+// epoch). It is written before the in-memory state changes — fencing
+// must survive a crash, or a deposed leader could reopen writable and
+// accept mutations a successor will never see.
+//
+// The file is replaced atomically (tmp + fsync + rename + dir fsync,
+// the snapshot discipline) so a crash mid-write leaves the previous
+// state, never a torn one. A torn or bit-flipped file fails the open
+// with ErrCorrupt: guessing at fencing state is the one thing this
+// record exists to prevent.
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"chainsplit/internal/faultinject"
+)
+
+// epochFile is the state file's name inside a store directory. It does
+// not match the segment/snapshot naming scheme, so directory scans and
+// pruning ignore it.
+const epochFile = "epoch"
+
+// epochMagic identifies (and versions) the epoch file format.
+var epochMagic = []byte("CSEPOCH1")
+
+// epochFileSize = magic(8) + epoch(8) + flags(1) + crc(4).
+const epochFileSize = 21
+
+// EpochState is the fencing state persisted beside the WAL.
+type EpochState struct {
+	// Epoch is the leader epoch this database last served under.
+	// Promotion bumps it; followers adopt higher epochs heard on the
+	// replication stream.
+	Epoch uint64
+	// Fenced records that the database has learned of a higher epoch
+	// and refuses mutations until promoted. The state keeps the OLD
+	// epoch: a fenced ex-leader reopens read-only in the epoch it was
+	// deposed from, it does not silently join the successor's.
+	Fenced bool
+}
+
+// ReadEpochState loads the epoch state from dir. A missing file is the
+// zero state (epoch 0, not fenced) — every pre-epoch store directory
+// is one. A torn or corrupt file is an ErrCorrupt match.
+func ReadEpochState(dir string) (EpochState, error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return EpochState{}, nil
+	}
+	if err != nil {
+		return EpochState{}, err
+	}
+	if len(data) != epochFileSize || string(data[:8]) != string(epochMagic) {
+		return EpochState{}, corruptf("epoch state file: bad size or magic")
+	}
+	if crc32.Checksum(data[:17], castagnoli) != binary.BigEndian.Uint32(data[17:]) {
+		return EpochState{}, corruptf("epoch state file: checksum mismatch")
+	}
+	flags := data[16]
+	if flags > 1 {
+		return EpochState{}, corruptf("epoch state file: unknown flags %#x", flags)
+	}
+	return EpochState{
+		Epoch:  binary.BigEndian.Uint64(data[8:16]),
+		Fenced: flags&1 != 0,
+	}, nil
+}
+
+// WriteEpochState persists st in dir, atomically replacing any
+// previous state. The replica.epoch fault site carries the encoded
+// bytes, so tests can tear or corrupt the fencing record in flight.
+func WriteEpochState(dir string, st EpochState) error {
+	data := make([]byte, 0, epochFileSize)
+	data = append(data, epochMagic...)
+	data = binary.BigEndian.AppendUint64(data, st.Epoch)
+	if st.Fenced {
+		data = append(data, 1)
+	} else {
+		data = append(data, 0)
+	}
+	data = binary.BigEndian.AppendUint32(data, crc32.Checksum(data, castagnoli))
+	data, err := faultinject.FireData(faultinject.SiteReplicaEpoch, data)
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(dir, epochFile)
+	tmp := final + tmpSuffix
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,34 @@
+package chainsplit
+
+// Shared goroutine-leak guard for the chaos soaks. Each soak spins up
+// worker pools, replication sessions, listeners and coordinators; the
+// guard proves they are all gone once the soak has closed everything
+// — no goroutine stuck on a lock, channel or socket.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakGuard snapshots the goroutine count now and returns a check to
+// run after every resource has been closed. The check polls (bounded
+// by 5s) because exiting goroutines need a beat to unwind; a small
+// tolerance absorbs runtime helpers. On a leak it fails the test with
+// a full stack dump of everything still running.
+func leakGuard(t *testing.T) (check func()) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base+5 {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
+					runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

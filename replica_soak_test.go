@@ -24,7 +24,6 @@ package chainsplit
 import (
 	"errors"
 	"math/rand"
-	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -64,7 +63,7 @@ func TestReplicaChaosSoak(t *testing.T) {
 	t.Logf("replica soak: seed=%d duration=%v (override with CHAINSPLIT_SOAK_SEED / CHAINSPLIT_SOAK_DURATION)", seed, duration)
 	defer faultinject.Reset()
 
-	baseGoroutines := runtime.NumGoroutine()
+	checkLeaks := leakGuard(t)
 	rng := rand.New(rand.NewSource(seed ^ 0x4e7f))
 	deadline := time.Now().Add(duration)
 
@@ -273,13 +272,5 @@ func TestReplicaChaosSoak(t *testing.T) {
 	t.Logf("replica soak: %d cycles, %d promotions, %d corruption faults, %d stale sheds, final generation %d",
 		cycles, promotions, corruptions, atomic.LoadInt64(&staleSheds), finalGen)
 
-	gdeadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseGoroutines+5 {
-		if time.Now().After(gdeadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
-				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	checkLeaks()
 }

@@ -8,10 +8,13 @@ package chainsplit
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"chainsplit/internal/faultinject"
+	"chainsplit/internal/replica"
 )
 
 // waitCaughtUp polls until the follower's generation reaches want.
@@ -424,5 +427,208 @@ func TestCorruptFrameNeverApplied(t *testing.T) {
 	waitCaughtUp(t, follower, leader.Generation())
 	if got, want := answers(t, follower, "?- n(X)."), answers(t, leader, "?- n(X)."); got != want {
 		t.Fatalf("follower diverged after corruption healed:\nleader:\n%s\nfollower:\n%s", want, got)
+	}
+}
+
+// A follower that has never completed a sync with its leader must not
+// claim staleness 0 — "never synced" is maximally stale. With any
+// staleness bound set, reads shed with ErrStale instead of serving an
+// empty database as if it were fresh.
+func TestFreshFollowerStalenessUnknown(t *testing.T) {
+	// 127.0.0.1:1 is a dead address: the session dials and retries
+	// forever, never reaching a sync point.
+	follower, err := OpenFollower("127.0.0.1:1", Config{MaxStaleness: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if got := follower.Staleness(); got != replica.StalenessUnknown {
+		t.Fatalf("fresh follower Staleness() = %v, want StalenessUnknown", got)
+	}
+	if _, err := follower.Query("?- p(X)."); !errors.Is(err, ErrStale) {
+		t.Fatalf("fresh follower read under a 1h bound: err = %v, want ErrStale", err)
+	}
+}
+
+// A fenced ex-leader re-opened from its own directory must come back
+// read-only in its OLD epoch — it rejoins as history, never as a
+// second writable leader. Only an explicit Promote (a fresh epoch)
+// makes it writable again.
+func TestFencedLeaderReopensReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	gen := leader.Generation()
+
+	// A successor exists at epoch 7; this leader is deposed.
+	if err := leader.inner.Fence(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Exec("p(b)."); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced leader Exec: err = %v, want ErrFenced", err)
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Fenced() {
+		t.Fatal("fencing did not survive the restart")
+	}
+	if got := re.Epoch(); got != 0 {
+		t.Fatalf("reopened ex-leader Epoch() = %d, want its old epoch 0 (not the fencer's)", got)
+	}
+	if got := re.Generation(); got != gen {
+		t.Fatalf("reopened ex-leader generation = %d, want %d", got, gen)
+	}
+	// Reads still serve its history; writes stay refused, typed.
+	if got := answers(t, re, "?- p(X)."); got != "a|\n" {
+		t.Fatalf("reopened ex-leader answers = %q", got)
+	}
+	if err := re.Exec("p(c)."); !errors.Is(err, ErrFenced) {
+		t.Fatalf("reopened ex-leader Exec: err = %v, want ErrFenced", err)
+	}
+	if err := re.LoadFacts("p", [][]Term{{Sym("d")}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("reopened ex-leader LoadFacts: err = %v, want ErrFenced", err)
+	}
+	// The operator override: Promote mints a fresh epoch and clears
+	// the fence durably.
+	if err := re.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if re.Fenced() || re.Epoch() != 1 {
+		t.Fatalf("after Promote: fenced=%v epoch=%d, want writable at epoch 1", re.Fenced(), re.Epoch())
+	}
+	if err := re.Exec("p(c)."); err != nil {
+		t.Fatalf("promoted ex-leader Exec: %v", err)
+	}
+}
+
+// The epoch a promotion mints is persisted beside the WAL and
+// recovered on reopen: leadership history survives restarts.
+func TestEpochPersistsAcrossRestart(t *testing.T) {
+	leader, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdir := t.TempDir()
+	follower, err := OpenFollower(addr, Config{Dir: fdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, follower, leader.Generation())
+	if err := follower.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.Epoch(); got != 1 {
+		t.Fatalf("promoted follower Epoch() = %d, want 1", got)
+	}
+	gen := follower.Generation()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Epoch(); got != 1 {
+		t.Fatalf("reopened promoted node Epoch() = %d, want 1", got)
+	}
+	if re.IsFollower() || re.Fenced() {
+		t.Fatalf("reopened promoted node: follower=%v fenced=%v, want a writable leader", re.IsFollower(), re.Fenced())
+	}
+	if got := re.Generation(); got != gen {
+		t.Fatalf("reopened promoted node generation = %d, want %d", got, gen)
+	}
+}
+
+// The wire path of fencing: a follower that has adopted a higher
+// epoch (a successor was promoted somewhere) reconnects to the old
+// leader; the resume handshake carries the follower's epoch, and the
+// deposed leader must fence itself rather than keep acknowledging
+// writes no successor will ever hold.
+func TestHandshakeFencesDeposedLeader(t *testing.T) {
+	leader, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := OpenFollower(addr, Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	waitCaughtUp(t, follower, leader.Generation())
+
+	// The follower learns (as it would from a coordinator-run
+	// promotion elsewhere) that epoch 3 exists, then reconnects.
+	if err := follower.inner.AdoptEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.retarget(addr); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !leader.Fenced() {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never fenced itself on a higher-epoch handshake")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := leader.Exec("p(b)."); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed leader Exec: err = %v, want ErrFenced", err)
+	}
+}
+
+// A corrupt epoch record refuses to open, typed: leadership state is
+// fencing evidence, and recovery never guesses at it.
+func TestEpochFileCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.inner.Fence(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "epoch"), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 9); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenDir(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over a corrupt epoch record: err = %v, want ErrCorrupt", err)
 	}
 }

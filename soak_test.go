@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -111,7 +110,7 @@ func TestChaosSoak(t *testing.T) {
 	t.Logf("soak: seed=%d duration=%v (override with CHAINSPLIT_SOAK_SEED / CHAINSPLIT_SOAK_DURATION)", seed, duration)
 	defer faultinject.Reset()
 
-	baseGoroutines := runtime.NumGoroutine()
+	checkLeaks := leakGuard(t)
 	// Capacity below the worker count and a tiny queue so admission
 	// pressure and shedding actually happen during the soak.
 	db, err := OpenWith(Config{MaxConcurrent: 6, MaxQueue: 2})
@@ -307,15 +306,7 @@ func TestChaosSoak(t *testing.T) {
 
 	// No leaked goroutines: the worker pool is gone and no query
 	// goroutine is stuck on a lock or channel.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseGoroutines+5 {
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
-				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	checkLeaks()
 }
 
 // TestDurableChaosSoak is the durability counterpart of TestChaosSoak:
