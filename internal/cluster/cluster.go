@@ -196,11 +196,23 @@ func (c *Coordinator) run() {
 // leader with the successor's new epoch, re-point the surviving
 // followers, and commit the new routing state. Returns false — with
 // no state changed — if no follower is eligible or promotion fails.
+//
+// The probe/promote/fence/retarget calls are network-ish I/O, so they
+// run with c.mu RELEASED — holding it would block Leader()/Followers()
+// (and with them every routed read and write) for the whole attempt.
+// The routing snapshot is taken under the lock, the I/O happens
+// against the snapshot, and the commit re-acquires the lock and
+// re-validates that leadership did not change underneath (safety does
+// not depend on this — the epoch machinery fences any loser — it just
+// keeps the routing state coherent if a second deposer ever appears).
 func (c *Coordinator) failover() bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	old := c.leader
+	followers := append([]Node(nil), c.followers...)
+	c.mu.Unlock()
+
 	var succ Node
-	for _, f := range c.followers {
+	for _, f := range followers {
 		if !f.Durable() || f.Probe() != nil {
 			continue
 		}
@@ -216,13 +228,12 @@ func (c *Coordinator) failover() bool {
 		return false
 	}
 	addr, leadErr := succ.Lead()
-	old := c.leader
 	// Fence the deposed leader under the successor's epoch. Best
 	// effort: it may be dead, in which case the epoch on the wire
 	// fences it the moment it comes back and meets any survivor.
 	old.Fence(succ.Epoch())
-	rest := make([]Node, 0, len(c.followers))
-	for _, f := range c.followers {
+	rest := make([]Node, 0, len(followers))
+	for _, f := range followers {
 		if f == succ {
 			continue
 		}
@@ -232,6 +243,12 @@ func (c *Coordinator) failover() bool {
 		rest = append(rest, f)
 	}
 	sort.Slice(rest, func(i, j int) bool { return rest[i].ID() < rest[j].ID() })
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader != old {
+		return false
+	}
 	c.leader = succ
 	c.followers = rest
 	c.deposed = append(c.deposed, old)

@@ -285,6 +285,36 @@ func retryPolicy(base time.Duration) retry.Policy {
 	return retry.Policy{BaseDelay: base, MaxDelay: base, Jitter: -1}
 }
 
+// allow is called while LISTING candidates, so an admitted half-open
+// probe may never actually run (the read settles on an earlier node).
+// The probe slot must expire and re-admit — an unexercised slot must
+// not wedge the breaker half-open (admitting no one) forever.
+func TestBreakerHalfOpenProbeSlotExpires(t *testing.T) {
+	b := &breaker{pol: retryPolicy(5 * time.Millisecond), threshold: 1}
+	now := time.Unix(0, 0)
+	b.record(false, now) // one failure at threshold 1: trip
+	if b.allow(now) {
+		t.Fatal("open breaker admitted an attempt")
+	}
+	now = now.Add(6 * time.Millisecond)
+	if !b.allow(now) {
+		t.Fatal("elapsed open interval did not admit a probe")
+	}
+	if b.allow(now) {
+		t.Fatal("held probe slot admitted a concurrent attempt")
+	}
+	// The probe never reports. After the slot's interval the breaker
+	// must admit the next caller instead of staying wedged.
+	now = now.Add(6 * time.Millisecond)
+	if !b.allow(now) {
+		t.Fatal("unexercised probe slot wedged the breaker half-open")
+	}
+	b.record(true, now)
+	if !b.allow(now) {
+		t.Fatal("breaker did not close on probe success")
+	}
+}
+
 func TestRouterQueryErrorsDoNotTripBreaker(t *testing.T) {
 	c, _, _ := newCluster(t, 1)
 	r := NewRouter(c, RouterConfig{FailureThreshold: 2})

@@ -230,9 +230,14 @@ type breaker struct {
 }
 
 // allow reports whether an attempt may proceed, transitioning
-// open→half-open when the open interval has elapsed. In half-open
-// exactly the transitioning caller proceeds; everyone else waits for
-// its verdict.
+// open→half-open when the open interval has elapsed. In half-open one
+// caller at a time holds the probe slot; everyone else waits for its
+// verdict. The slot expires after the same backoff interval that
+// opened the breaker: allow is called while LISTING candidates, so a
+// read that settles on an earlier node admits a probe that never
+// actually runs — without the expiry that unexercised slot would keep
+// the breaker half-open (admitting no one) forever, permanently
+// excluding the node from routing.
 func (b *breaker) allow(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -244,10 +249,18 @@ func (b *breaker) allow(now time.Time) bool {
 			return false
 		}
 		b.state = stHalfOpen
+		b.until = now.Add(b.pol.Delay(b.opens))
 		obsv.BreakerTransitions.Inc()
 		return true
-	default: // half-open: the probe is already in flight
-		return false
+	default: // half-open
+		if now.Before(b.until) {
+			return false // the probe slot is held, wait for its verdict
+		}
+		// The admitted probe never reported (the read settled elsewhere,
+		// or the prober is stuck past any useful timeout): re-arm the
+		// slot and admit the next caller.
+		b.until = now.Add(b.pol.Delay(b.opens))
+		return true
 	}
 }
 

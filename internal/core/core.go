@@ -301,6 +301,15 @@ type DB struct {
 	// the persisted state.
 	epoch atomic.Uint64
 
+	// epochSeen is the highest epoch this database has ever heard of,
+	// its own included (so epochSeen >= epoch always). It diverges from
+	// epoch only on a fenced ex-leader, which keeps serving reads under
+	// its old epoch while remembering the successor's: Promote mints
+	// epochSeen+1, so a re-promoted ex-leader can never turn writable
+	// in an epoch a live successor is already writing under. Persisted
+	// alongside epoch on durable databases.
+	epochSeen atomic.Uint64
+
 	// fenced marks a deposed leader: the database has learned of a
 	// higher epoch (a promoted successor) and refuses mutations with
 	// everr.ErrFenced. Fencing is persisted before it is visible, so a

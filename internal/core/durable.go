@@ -60,6 +60,7 @@ func OpenDir(dir string, opts wal.Options) (*DB, error) {
 		return nil, err
 	}
 	db.epoch.Store(est.Epoch)
+	db.epochSeen.Store(max(est.Epoch, est.MaxSeen))
 	db.fenced.Store(est.Fenced)
 	db.writeMu.Lock()
 	db.store = store

@@ -146,29 +146,34 @@ func (db *DB) BootstrapReplica(snap *wal.Snapshot) error {
 // The epoch bump is the fencing half of failover: the new leader's
 // frames carry the higher epoch, every follower that hears it adopts
 // it, and any surviving ex-leader that meets the higher epoch fences
-// itself. The bump is persisted *before* the database turns writable,
-// so a crash can lose a promotion but never produce a writable leader
-// in an unfenced old epoch.
+// itself. The minted epoch is one past the highest epoch this node has
+// EVER heard of (epochSeen), not just its own serving epoch — a fenced
+// ex-leader knows its successor's epoch and must promote strictly past
+// it, or the documented recovery path (explicit Promote on a deposed
+// leader) would mint the same epoch a live successor is writing under.
+// The bump is persisted *before* the database turns writable, so a
+// crash can lose a promotion but never produce a writable leader in an
+// unfenced old epoch.
 func (db *DB) Promote() error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	if !db.follower.Load() && !db.fenced.Load() {
 		return nil
 	}
+	next := max(db.epoch.Load(), db.epochSeen.Load()) + 1
 	if db.store != nil {
-		if db.follower.Load() {
-			if err := db.store.Sync(); err != nil {
-				return fmt.Errorf("core: promote: fsync of the log tail failed: %w", err)
-			}
-			if got, want := db.store.LastSeq(), db.current().seq; got != want {
-				return fmt.Errorf("%w: promote: durable log at generation %d, published state at %d", wal.ErrCorrupt, got, want)
-			}
+		if err := db.store.Sync(); err != nil {
+			return fmt.Errorf("core: promote: fsync of the log tail failed: %w", err)
 		}
-		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: db.epoch.Load() + 1}); err != nil {
+		if got, want := db.store.LastSeq(), db.current().seq; got != want {
+			return fmt.Errorf("%w: promote: durable log at generation %d, published state at %d", wal.ErrCorrupt, got, want)
+		}
+		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: next, MaxSeen: next}); err != nil {
 			return fmt.Errorf("core: promote: epoch bump not durable, still read-only: %w", err)
 		}
 	}
-	db.epoch.Add(1)
+	db.epoch.Store(next)
+	db.epochSeen.Store(next)
 	db.fenced.Store(false)
 	db.follower.Store(false)
 	obsv.ReplicaPromotions.Inc()
@@ -186,11 +191,14 @@ func (db *DB) Fenced() bool { return db.fenced.Load() }
 // Fence deposes the database on evidence of a higher epoch: mutations
 // start failing with everr.ErrFenced, durably — the fencing state is
 // persisted (under the database's OWN epoch, the one it was deposed
-// from) before it takes effect, so a reopened ex-leader comes back
-// read-only rather than silently writable. Evidence at or below the
+// from, with the higher epoch recorded as MaxSeen) before it takes
+// effect, so a reopened ex-leader comes back read-only rather than
+// silently writable, and a later Promote mints an epoch past the
+// successor's rather than colliding with it. Evidence at or below the
 // database's own epoch is ignored: only a strictly newer leadership
-// term can depose. On a follower, fencing reduces to adopting the
-// higher epoch — the database is already read-only.
+// term can depose. An already-fenced database still records evidence
+// of an even higher epoch. On a follower, fencing reduces to adopting
+// the higher epoch — the database is already read-only.
 func (db *DB) Fence(higher uint64) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
@@ -200,14 +208,16 @@ func (db *DB) Fence(higher uint64) error {
 	if db.follower.Load() {
 		return db.adoptEpochLocked(higher)
 	}
-	if db.fenced.Load() {
+	if db.fenced.Load() && higher <= db.epochSeen.Load() {
 		return nil
 	}
+	seen := max(higher, db.epochSeen.Load())
 	if db.store != nil {
-		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: db.epoch.Load(), Fenced: true}); err != nil {
+		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: db.epoch.Load(), MaxSeen: seen, Fenced: true}); err != nil {
 			return fmt.Errorf("core: fence not durable: %w", err)
 		}
 	}
+	db.epochSeen.Store(seen)
 	db.fenced.Store(true)
 	return nil
 }
@@ -231,12 +241,14 @@ func (db *DB) adoptEpochLocked(epoch uint64) error {
 	if epoch <= db.epoch.Load() {
 		return nil
 	}
+	seen := max(epoch, db.epochSeen.Load())
 	if db.store != nil {
-		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: epoch, Fenced: db.fenced.Load()}); err != nil {
+		if err := wal.WriteEpochState(db.store.Dir(), wal.EpochState{Epoch: epoch, MaxSeen: seen, Fenced: db.fenced.Load()}); err != nil {
 			return fmt.Errorf("core: epoch adoption not durable: %w", err)
 		}
 	}
 	db.epoch.Store(epoch)
+	db.epochSeen.Store(seen)
 	return nil
 }
 

@@ -322,6 +322,15 @@ func (l *Leader) serveConn(conn net.Conn) {
 			return
 		default:
 		}
+		if l.db.Fenced() {
+			// Deposed mid-stream: the handshake check caught fencing at
+			// connect time, this catches it on established connections.
+			// Past the fence point this leader's history may diverge from
+			// the successor's, so shipping the backlog any further could
+			// push followers onto a dead branch their resume handshake
+			// with the new leader would then refuse as diverged.
+			return
+		}
 		recs, perr := tail.Poll()
 		for _, rec := range recs {
 			payload, err := wal.EncodeRecord(rec, enc)

@@ -30,10 +30,10 @@ import (
 const epochFile = "epoch"
 
 // epochMagic identifies (and versions) the epoch file format.
-var epochMagic = []byte("CSEPOCH1")
+var epochMagic = []byte("CSEPOCH2")
 
-// epochFileSize = magic(8) + epoch(8) + flags(1) + crc(4).
-const epochFileSize = 21
+// epochFileSize = magic(8) + epoch(8) + maxSeen(8) + flags(1) + crc(4).
+const epochFileSize = 29
 
 // EpochState is the fencing state persisted beside the WAL.
 type EpochState struct {
@@ -41,6 +41,12 @@ type EpochState struct {
 	// Promotion bumps it; followers adopt higher epochs heard on the
 	// replication stream.
 	Epoch uint64
+	// MaxSeen is the highest epoch this database has ever heard of,
+	// its own included. A fenced ex-leader keeps serving under its OLD
+	// Epoch but must remember the successor's higher epoch here: a
+	// later Promote mints MaxSeen+1, never a number a live successor
+	// is already writing under.
+	MaxSeen uint64
 	// Fenced records that the database has learned of a higher epoch
 	// and refuses mutations until promoted. The state keeps the OLD
 	// epoch: a fenced ex-leader reopens read-only in the epoch it was
@@ -62,26 +68,37 @@ func ReadEpochState(dir string) (EpochState, error) {
 	if len(data) != epochFileSize || string(data[:8]) != string(epochMagic) {
 		return EpochState{}, corruptf("epoch state file: bad size or magic")
 	}
-	if crc32.Checksum(data[:17], castagnoli) != binary.BigEndian.Uint32(data[17:]) {
+	if crc32.Checksum(data[:25], castagnoli) != binary.BigEndian.Uint32(data[25:]) {
 		return EpochState{}, corruptf("epoch state file: checksum mismatch")
 	}
-	flags := data[16]
+	flags := data[24]
 	if flags > 1 {
 		return EpochState{}, corruptf("epoch state file: unknown flags %#x", flags)
 	}
-	return EpochState{
-		Epoch:  binary.BigEndian.Uint64(data[8:16]),
-		Fenced: flags&1 != 0,
-	}, nil
+	st := EpochState{
+		Epoch:   binary.BigEndian.Uint64(data[8:16]),
+		MaxSeen: binary.BigEndian.Uint64(data[16:24]),
+		Fenced:  flags&1 != 0,
+	}
+	if st.MaxSeen < st.Epoch {
+		return EpochState{}, corruptf("epoch state file: max seen epoch %d below serving epoch %d", st.MaxSeen, st.Epoch)
+	}
+	return st, nil
 }
 
 // WriteEpochState persists st in dir, atomically replacing any
-// previous state. The replica.epoch fault site carries the encoded
-// bytes, so tests can tear or corrupt the fencing record in flight.
+// previous state. MaxSeen below Epoch is normalized up (a node has
+// always heard of its own epoch). The replica.epoch fault site carries
+// the encoded bytes, so tests can tear or corrupt the fencing record
+// in flight.
 func WriteEpochState(dir string, st EpochState) error {
+	if st.MaxSeen < st.Epoch {
+		st.MaxSeen = st.Epoch
+	}
 	data := make([]byte, 0, epochFileSize)
 	data = append(data, epochMagic...)
 	data = binary.BigEndian.AppendUint64(data, st.Epoch)
+	data = binary.BigEndian.AppendUint64(data, st.MaxSeen)
 	if st.Fenced {
 		data = append(data, 1)
 	} else {

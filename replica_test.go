@@ -501,12 +501,16 @@ func TestFencedLeaderReopensReadOnly(t *testing.T) {
 		t.Fatalf("reopened ex-leader LoadFacts: err = %v, want ErrFenced", err)
 	}
 	// The operator override: Promote mints a fresh epoch and clears
-	// the fence durably.
+	// the fence durably. The minted epoch must be strictly past the
+	// successor's epoch 7 — the highest epoch this node ever heard,
+	// remembered across the restart — not past its own old epoch 0,
+	// or the re-promoted ex-leader would be writable in an epoch the
+	// live successor is (or was) also writing under.
 	if err := re.Promote(); err != nil {
 		t.Fatal(err)
 	}
-	if re.Fenced() || re.Epoch() != 1 {
-		t.Fatalf("after Promote: fenced=%v epoch=%d, want writable at epoch 1", re.Fenced(), re.Epoch())
+	if re.Fenced() || re.Epoch() != 8 {
+		t.Fatalf("after Promote: fenced=%v epoch=%d, want writable at epoch 8 (past the fencer's 7)", re.Fenced(), re.Epoch())
 	}
 	if err := re.Exec("p(c)."); err != nil {
 		t.Fatalf("promoted ex-leader Exec: %v", err)
@@ -603,6 +607,60 @@ func TestHandshakeFencesDeposedLeader(t *testing.T) {
 	}
 	if err := leader.Exec("p(b)."); !errors.Is(err, ErrFenced) {
 		t.Fatalf("deposed leader Exec: err = %v, want ErrFenced", err)
+	}
+}
+
+// Fencing must cut ESTABLISHED replication streams, not just refuse
+// new handshakes: a leader deposed mid-stream may hold backlog past
+// the successor's promotion point, and shipping it would push
+// connected followers onto a dead branch. After Fence the stream must
+// drop and every reconnect must be refused.
+func TestFencedLeaderStopsServingEstablishedStreams(t *testing.T) {
+	leader, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if err := leader.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := OpenFollower(addr, Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	waitCaughtUp(t, follower, leader.Generation())
+	follower.replMu.Lock()
+	sess := follower.repl
+	follower.replMu.Unlock()
+	if !sess.Connected() {
+		t.Fatal("follower not connected after catching up")
+	}
+
+	// Depose the leader directly (as a coordinator that promoted a
+	// successor elsewhere would). The follower itself has not heard
+	// the higher epoch, so only the leader's own serve loop can end
+	// the established stream.
+	if err := leader.inner.Fence(3); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.Connected() {
+		if time.Now().After(deadline) {
+			t.Fatal("established stream survived fencing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Reconnect attempts are refused at the handshake (the session is
+	// marked connected only after a successful echo), so the stream
+	// must stay down.
+	time.Sleep(50 * time.Millisecond)
+	if sess.Connected() {
+		t.Fatal("fenced leader accepted a replication reconnect")
 	}
 }
 
