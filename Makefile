@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet staticcheck race bench bench-smoke fuzz-smoke soak replica-soak cluster-soak
+.PHONY: build test check vet staticcheck govulncheck race bench bench-smoke fuzz-smoke soak replica-soak cluster-soak scrub-soak
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,17 @@ staticcheck:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# govulncheck scans the dependency graph against the Go vulnerability
+# database. Same deal as staticcheck: best-effort locally (it needs
+# network access to fetch the DB), mandatory in CI where a pinned
+# version is installed.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
 # -shuffle=on randomizes test (and soak) execution order each run, so
@@ -50,7 +61,14 @@ replica-soak:
 cluster-soak:
 	CHAINSPLIT_SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -count=1 -run 'ClusterChaosSoak' -v .
 
-check: build vet staticcheck race
+# Just the corruption soak (background scrubbing + anti-entropy
+# digests detecting injected bit-flips, quarantine-and-reseed repair
+# under live traffic). Also runs as part of `make soak` — the -run
+# pattern there matches every *ChaosSoak.
+scrub-soak:
+	CHAINSPLIT_SOAK_DURATION=$(SOAK_DURATION) $(GO) test -race -count=1 -run 'CorruptionChaosSoak' -v .
+
+check: build vet staticcheck govulncheck race
 
 bench:
 	$(GO) test -bench=. -benchmem

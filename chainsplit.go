@@ -67,6 +67,7 @@ import (
 	"chainsplit/internal/program"
 	"chainsplit/internal/replica"
 	"chainsplit/internal/retry"
+	"chainsplit/internal/scrub"
 	"chainsplit/internal/term"
 	"chainsplit/internal/wal"
 )
@@ -243,6 +244,16 @@ type DB struct {
 	repl    *replica.Session
 	leaders []*replica.Leader
 	closed  bool
+
+	// scrubber is the background integrity scrubber of a durable
+	// database opened with Config.ScrubEvery > 0; nil otherwise.
+	scrubber *scrub.Scrubber
+	// divergeHook is installed before any follower session starts and
+	// never changes afterwards: it receives the session's ErrDivergence
+	// when anti-entropy proves this replica's state wrong. Standalone
+	// followers quarantine themselves; cluster nodes quarantine and
+	// then repair.
+	divergeHook func(error)
 }
 
 // Config sizes the serving layer of a database opened with OpenWith.
@@ -274,6 +285,17 @@ type Config struct {
 	// compacted snapshots of a durable database (0 = default 256,
 	// negative = never; Checkpoint still works). Ignored without Dir.
 	SnapshotEvery int
+	// ScrubEvery, when positive on a durable database, starts a
+	// background integrity scrubber: every ScrubEvery it re-verifies
+	// the store under Dir — the same checks as Fsck, with live-writer
+	// leniencies — at a bounded read rate, without blocking writers. A
+	// pass that finds corruption (or durable state behind the published
+	// generation) quarantines the database: reads and mutations shed
+	// with ErrQuarantined. Standalone databases stay quarantined (fix
+	// the store, reopen); OpenCluster nodes repair themselves by
+	// re-seeding from the leader. Zero disables scrubbing (the
+	// default); ignored without Dir.
+	ScrubEvery time.Duration
 	// MaxStaleness bounds how old a replica follower's view may be
 	// before it sheds reads with ErrStale instead of silently serving
 	// stale answers: a follower whose last known catch-up with the
@@ -318,14 +340,51 @@ func OpenWith(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
-	return &DB{
+	db := &DB{
 		inner:   inner,
 		workers: cfg.Workers,
 		adm: admission.New(admission.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			MaxQueue:      cfg.MaxQueue,
 		}),
-	}, nil
+	}
+	db.startScrubber(cfg, nil)
+	return db, nil
+}
+
+// startScrubber wires the background integrity scrubber of a durable
+// database opened with Config.ScrubEvery > 0. A nil onCorrupt means
+// the default detection response: quarantine this database (reads and
+// mutations shed with ErrQuarantined) with no automatic repair —
+// OpenCluster overrides it with quarantine-and-reseed.
+func (db *DB) startScrubber(cfg Config, onCorrupt func(*wal.Report)) {
+	if cfg.Dir == "" || cfg.ScrubEvery <= 0 {
+		return
+	}
+	if onCorrupt == nil {
+		onCorrupt = func(*wal.Report) { db.inner.Quarantine() }
+	}
+	db.scrubber = scrub.New(scrub.Config{
+		Dir:       cfg.Dir,
+		Every:     cfg.ScrubEvery,
+		Published: db.inner.Generation,
+		OnCorrupt: onCorrupt,
+	})
+	db.scrubber.Start()
+}
+
+// ScrubReport returns the most recent background scrub pass's report
+// ("", false before the first pass or without Config.ScrubEvery); ok
+// reports whether the pass found the store clean.
+func (db *DB) ScrubReport() (report string, ok bool) {
+	if db.scrubber == nil {
+		return "", false
+	}
+	rep := db.scrubber.LastReport()
+	if rep == nil {
+		return "", false
+	}
+	return rep.String(), rep.OK()
 }
 
 // OpenFollower opens a read-only replica of the leader serving
@@ -348,21 +407,35 @@ func OpenFollower(addr string, cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
-	sess, err := replica.StartFollower(inner, addr, replica.FollowerConfig{})
-	if err != nil {
-		inner.Close()
-		return nil, err
-	}
-	return &DB{
+	db := &DB{
 		inner:    inner,
 		workers:  cfg.Workers,
 		maxStale: cfg.MaxStaleness,
-		repl:     sess,
 		adm: admission.New(admission.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			MaxQueue:      cfg.MaxQueue,
 		}),
-	}, nil
+	}
+	// A standalone follower that anti-entropy proves diverged has no
+	// cluster to repair it: it quarantines itself and sheds reads with
+	// ErrQuarantined rather than keep serving state the leader
+	// disowned. (OpenCluster installs quarantine-and-reseed instead.)
+	db.divergeHook = func(error) { inner.Quarantine() }
+	sess, err := replica.StartFollower(inner, addr, db.followerConfig())
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	db.repl = sess
+	db.startScrubber(cfg, nil)
+	return db, nil
+}
+
+// followerConfig is the replica session configuration every follower
+// session of this database starts with: divergence detection wired to
+// the database's quarantine response.
+func (db *DB) followerConfig() replica.FollowerConfig {
+	return replica.FollowerConfig{OnDivergence: db.divergeHook}
 }
 
 // ServeReplication starts serving this database's write-ahead log to
@@ -431,6 +504,9 @@ func (db *DB) Close() error {
 	leaders := db.leaders
 	db.repl, db.leaders, db.closed = nil, nil, true
 	db.replMu.Unlock()
+	if db.scrubber != nil {
+		db.scrubber.Stop()
+	}
 	if sess != nil {
 		sess.Stop()
 	}
@@ -438,6 +514,19 @@ func (db *DB) Close() error {
 		l.Close()
 	}
 	return db.inner.Close()
+}
+
+// stopSession stops the follower session, if any, leaving the
+// database's follower status untouched — the reseed path stops
+// streaming before wiping state, then retargets.
+func (db *DB) stopSession() {
+	db.replMu.Lock()
+	sess := db.repl
+	db.repl = nil
+	db.replMu.Unlock()
+	if sess != nil {
+		sess.Stop()
+	}
 }
 
 // Checkpoint writes a compacted snapshot of the current generation and
@@ -569,6 +658,12 @@ func (db *DB) QueryCtx(ctx context.Context, q string, options ...Option) (res *R
 // shed with ErrStale before any evaluation work, like an admission
 // rejection — the query never silently reads old state.
 func (db *DB) queryOnce(ctx context.Context, goals []program.Atom, opts core.Options) (*Result, error) {
+	// Quarantine sheds before anything else — staleness included: a
+	// node that cannot vouch for its own store must not serve answers
+	// from it, however fresh they look.
+	if err := db.inner.CheckQuarantined(); err != nil {
+		return nil, &core.EvalError{Strategy: "integrity", Err: err}
+	}
 	if db.maxStale > 0 && db.Staleness() > db.maxStale {
 		if err := core.CheckFollowerRead(true); err != nil {
 			return nil, &core.EvalError{Strategy: "replica", Err: err}

@@ -18,13 +18,16 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chainsplit/internal/admission"
 	"chainsplit/internal/cluster"
 	"chainsplit/internal/core"
 	"chainsplit/internal/everr"
+	"chainsplit/internal/obsv"
 	"chainsplit/internal/replica"
+	"chainsplit/internal/scrub"
 	"chainsplit/internal/wal"
 )
 
@@ -63,6 +66,12 @@ type Cluster struct {
 	coord  *cluster.Coordinator
 	router *cluster.Router
 
+	// repairWG tracks in-flight quarantine-and-reseed goroutines so
+	// Close can wait them out before tearing the nodes down.
+	repairWG sync.WaitGroup
+
+	reseeds atomic.Int64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -73,6 +82,9 @@ type Cluster struct {
 type clusterNode struct {
 	id string
 	db *DB
+	// cl is the owning cluster, set before any detector can fire; the
+	// repair goroutine navigates leadership through it.
+	cl *Cluster
 
 	mu   sync.Mutex
 	addr string // cached ServeReplication address, set by Lead
@@ -83,12 +95,20 @@ func (n *clusterNode) Generation() uint64 { return n.db.Generation() }
 func (n *clusterNode) Epoch() uint64      { return n.db.Epoch() }
 func (n *clusterNode) Durable() bool      { return true }
 
-// Probe reports liveness: a closed database is down. (Partitions are
+// Probe reports liveness: a closed database is down, and so — for the
+// coordinator's purposes — is a quarantined one. Reporting quarantine
+// here is what makes the whole response automatic without widening the
+// Node interface: a quarantined leader accumulates missed probes and
+// is failed over; a quarantined follower is never elected successor
+// (failover's candidate filter probes each candidate). (Partitions are
 // modeled by the cluster.probe fault site, which the coordinator
 // checks before calling Probe at all.)
 func (n *clusterNode) Probe() error {
 	if n.db.isClosed() {
 		return fmt.Errorf("cluster: node %s is closed", n.id)
+	}
+	if err := n.db.inner.CheckQuarantined(); err != nil {
+		return fmt.Errorf("cluster: node %s: %w", n.id, err)
 	}
 	return nil
 }
@@ -113,6 +133,93 @@ func (n *clusterNode) Lead() (string, error) {
 func (n *clusterNode) Retarget(addr string) error { return n.db.retarget(addr) }
 func (n *clusterNode) Fence(epoch uint64) error   { return n.db.inner.Fence(epoch) }
 func (n *clusterNode) Staleness() time.Duration   { return n.db.Staleness() }
+
+// quarantine takes the node out of service on evidence of corruption
+// (a failed scrub pass, an anti-entropy divergence) and owns the
+// repair: the first detector to trip the quarantine CAS spawns the
+// reseed goroutine, later detections are no-ops against a node already
+// being repaired.
+func (n *clusterNode) quarantine(cause error) {
+	if cause == nil || !n.db.inner.Quarantine() {
+		return
+	}
+	n.cl.repairWG.Add(1)
+	go func() {
+		defer n.cl.repairWG.Done()
+		n.repair()
+	}()
+}
+
+// repair runs the quarantine-and-reseed sequence (docs/robustness.md):
+// wait until the cluster has routed leadership away from this node,
+// wipe its state, re-seed from the current leader through the ordinary
+// resume handshake, and rejoin the routing set once caught up. Every
+// wait re-checks Close so repair never outlives the cluster; a repair
+// that cannot complete leaves the node quarantined — shedding with
+// ErrQuarantined is the safe terminal state.
+func (n *clusterNode) repair() {
+	c := n.cl
+	// Phase 1: wait out leadership. The coordinator's probe sees
+	// ErrQuarantined and fails over to a clean follower; repair must
+	// not wipe a node the cluster still routes writes to.
+	for {
+		if c.isClosed() {
+			return
+		}
+		coord := c.coordinator()
+		if coord != nil && coord.Leader().(*clusterNode) != n {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Phase 2: stop streaming (a diverged session has stopped already;
+	// a scrub-detected follower's is still applying) and wipe. The
+	// store is re-created empty at generation 0 with epoch knowledge
+	// preserved and the fenced flag cleared: the node is an ordinary
+	// follower again, just one with no state yet.
+	n.db.stopSession()
+	if err := n.db.inner.ResetReplica(); err != nil {
+		return
+	}
+	// Phase 3: re-seed from the current leader — the resume handshake
+	// at generation 0 tails retained history or ships a full snapshot,
+	// the same path a brand-new follower takes — following leadership
+	// across failovers, and rejoin once caught up to where the leader
+	// stood when the stream came up.
+	for {
+		if c.isClosed() {
+			return
+		}
+		ldr := c.coordinator().Leader().(*clusterNode)
+		if ldr == n {
+			// Re-elected while quarantined should be impossible (Probe
+			// fails); if routing says otherwise, stop rather than wipe.
+			return
+		}
+		addr, err := ldr.Lead()
+		if err != nil || n.db.retarget(addr) != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		goal := ldr.db.inner.Generation()
+		for {
+			if c.isClosed() {
+				return
+			}
+			if c.coordinator().Leader().(*clusterNode) != ldr {
+				break // failover mid-reseed: retarget at the new leader
+			}
+			if n.db.inner.Generation() >= goal {
+				n.db.inner.ClearQuarantine()
+				c.reseeds.Add(1)
+				obsv.Reseeds.Inc()
+				c.coordinator().Rejoin(n)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
 
 // OpenCluster opens (or creates) a replica group rooted at cfg.Dir:
 // cfg.Cluster.Replicas durable nodes under Dir/node0 … Dir/node<N-1>.
@@ -142,6 +249,12 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 
 	c := &Cluster{cfg: cfg}
 	fail := func(err error) (*Cluster, error) {
+		// Mark closed first: a scrubber may already have spawned a
+		// repair goroutine, which must wind down before the nodes go.
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		c.repairWG.Wait()
 		for _, n := range c.nodes {
 			n.db.Close()
 		}
@@ -160,8 +273,9 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return fail(fmt.Errorf("cluster node%d: %w", i, err))
 		}
-		c.nodes = append(c.nodes, &clusterNode{
+		n := &clusterNode{
 			id: fmt.Sprintf("node%d", i),
+			cl: c,
 			db: &DB{
 				inner:    inner,
 				workers:  cfg.Workers,
@@ -171,7 +285,15 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 					MaxQueue:      cfg.MaxQueue,
 				}),
 			},
-		})
+		}
+		// Both corruption detectors feed the same response. The hook is
+		// installed before any session starts so a divergence on the
+		// very first connect is already owned.
+		n.db.divergeHook = n.quarantine
+		nodeCfg := cfg
+		nodeCfg.Dir = dir
+		n.db.startScrubber(nodeCfg, func(rep *wal.Report) { n.quarantine(scrub.Corruption(rep)) })
+		c.nodes = append(c.nodes, n)
 	}
 
 	// Election. A fenced node knows a higher epoch exists somewhere,
@@ -220,7 +342,7 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		if n == winner {
 			continue
 		}
-		sess, err := replica.StartFollower(n.db.inner, addr, replica.FollowerConfig{})
+		sess, err := replica.StartFollower(n.db.inner, addr, n.db.followerConfig())
 		if err != nil {
 			return fail(err)
 		}
@@ -230,6 +352,10 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		followers = append(followers, n)
 	}
 
+	// The assignment is locked because a detector (scrubber pass,
+	// divergence hook) may already have spawned a repair goroutine,
+	// which reads the coordinator through the same lock.
+	c.mu.Lock()
 	c.coord = cluster.NewCoordinator(winner, followers, cluster.Config{
 		Heartbeat:    cc.Heartbeat,
 		SuspectAfter: cc.SuspectAfter,
@@ -238,7 +364,23 @@ func OpenCluster(cfg Config) (*Cluster, error) {
 		FailureThreshold: cc.FailureThreshold,
 		HedgeAfter:       cc.HedgeAfter,
 	})
+	c.mu.Unlock()
 	return c, nil
+}
+
+// coordinator returns the coordinator, nil while OpenCluster is still
+// assembling the group (repair goroutines wait that window out).
+func (c *Cluster) coordinator() *cluster.Coordinator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coord
+}
+
+// isClosed reports whether Close has begun.
+func (c *Cluster) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 // leaderNode returns the coordinator's current leader.
@@ -255,13 +397,20 @@ func (c *Cluster) Leader() *DB { return c.leaderNode().db }
 // committed since open.
 func (c *Cluster) Failovers() int64 { return c.coord.Failovers() }
 
+// Reseeds reports how many quarantine-and-reseed repairs the cluster
+// has completed since open: nodes that detected corruption in their
+// own state (scrub or anti-entropy), wiped it, re-seeded from the
+// leader and rejoined.
+func (c *Cluster) Reseeds() int64 { return c.reseeds.Load() }
+
 // write runs one mutation against the current leader, re-routing and
 // retrying while leadership is in flux: ErrFenced and ErrNotLeader
-// mean a failover won the race (retry against the new leader), and a
-// closed leader means the coordinator has not yet deposed it. Any
-// other failure — a parse error, a corrupt store — is the caller's,
-// returned as is. Bounded: gives up after ~5s of continuous
-// leadership churn.
+// mean a failover won the race (retry against the new leader),
+// ErrQuarantined means the routed leader detected corruption and is
+// about to be deposed, and a closed leader means the coordinator has
+// not yet deposed it. Any other failure — a parse error, a corrupt
+// store — is the caller's, returned as is. Bounded: gives up after ~5s
+// of continuous leadership churn.
 func (c *Cluster) write(f func(db *DB) error) error {
 	var last error
 	deadline := time.Now().Add(5 * time.Second)
@@ -272,7 +421,8 @@ func (c *Cluster) write(f func(db *DB) error) error {
 			return nil
 		}
 		last = err
-		if !errors.Is(err, everr.ErrFenced) && !errors.Is(err, everr.ErrNotLeader) && !n.db.isClosed() {
+		if !errors.Is(err, everr.ErrFenced) && !errors.Is(err, everr.ErrNotLeader) &&
+			!errors.Is(err, everr.ErrQuarantined) && !n.db.isClosed() {
 			return err
 		}
 		if time.Now().After(deadline) {
@@ -362,6 +512,9 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	c.mu.Unlock()
 	c.coord.Close()
+	// Repair goroutines check the closed flag at every wait; let them
+	// wind down before the nodes they would reseed are torn away.
+	c.repairWG.Wait()
 	var first error
 	for _, n := range c.nodes {
 		if err := n.db.Close(); err != nil && first == nil {
@@ -410,7 +563,7 @@ func (db *DB) retarget(addr string) error {
 	if !db.inner.Follower() {
 		return nil
 	}
-	sess, err := replica.StartFollower(db.inner, addr, replica.FollowerConfig{})
+	sess, err := replica.StartFollower(db.inner, addr, db.followerConfig())
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@
 //	chainsplitctl -concurrency 4 -i prog.dl    # cap in-flight queries
 //	chainsplitctl -dir ./data prog.dl          # durable database (WAL + snapshots)
 //	chainsplitctl -dir ./data -fsck            # offline integrity check, no open
+//	chainsplitctl -dir ./data -scrub           # online integrity pass (safe with a live writer)
 //	chainsplitctl -dir ./data -serve :7070 -i  # lead: serve the WAL to replicas
 //	chainsplitctl -follow host:7070 -q '…'     # read from a replica follower
 //	chainsplitctl -follow host:7070 -dir ./f   # durable follower (resumes on restart)
@@ -79,6 +80,7 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines per bottom-up fixpoint round (results identical to serial); 0 or 1 means serial")
 	dir := flag.String("dir", "", "durable database directory (write-ahead log + snapshots); empty means in-memory")
 	fsck := flag.Bool("fsck", false, "validate the durable store under -dir (checksums, term-ID integrity, generation monotonicity) and exit; 0 clean, 3 corrupt")
+	scrubOnce := flag.Bool("scrub", false, "run one online integrity pass over the store under -dir (the fsck checks with live-writer leniencies; safe while another process writes) and exit; 0 clean, 3 corrupt")
 	serve := flag.String("serve", "", "serve this database's write-ahead log to replica followers on addr (requires -dir)")
 	follow := flag.String("follow", "", "tail a replication leader at addr and serve read-only answers (with -dir the follower is durable and resumes after a restart)")
 	maxStale := flag.Duration("max-staleness", 0, "with -follow: refuse reads (exit 2) when the follower's view of the leader is older than this; 0 serves at any staleness")
@@ -98,6 +100,23 @@ func main() {
 				fail("fsck: %s holds no durable store (nothing to check; is -dir right?)", *dir)
 			}
 			fail("fsck: %v", err)
+		}
+		fmt.Print(report)
+		if !ok {
+			os.Exit(3)
+		}
+		return
+	}
+	if *scrubOnce {
+		if *dir == "" {
+			fail("-scrub needs -dir")
+		}
+		report, ok, err := chainsplit.Scrub(*dir)
+		if err != nil {
+			if errors.Is(err, chainsplit.ErrNoStore) {
+				fail("scrub: %s holds no durable store (nothing to check; is -dir right?)", *dir)
+			}
+			fail("scrub: %v", err)
 		}
 		fmt.Print(report)
 		if !ok {

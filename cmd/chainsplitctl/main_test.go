@@ -382,3 +382,53 @@ func TestStrategyTableComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestScrubExitCodes(t *testing.T) {
+	// The one-shot online pass mirrors -fsck's exit discipline: 1 for
+	// usage (no store), 0 clean, 3 corrupt.
+	if out, code := runCtl(t, "-scrub", "-dir", t.TempDir()); code != 1 {
+		t.Errorf("scrub on an empty dir: exit %d, want 1\n%s", code, out)
+	}
+	if _, code := runCtl(t, "-scrub"); code != 1 {
+		t.Errorf("scrub without -dir: exit %d, want 1", code)
+	}
+
+	dir := t.TempDir()
+	db, err := chainsplit.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two records: the online pass excuses damage confined to the very
+	// last frame as a possibly in-flight append, so the corruption must
+	// land in a settled (non-final) frame to be judged.
+	if err := db.Exec("p(a)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("p(b)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runCtl(t, "-scrub", "-dir", dir); code != 0 {
+		t.Errorf("scrub on a clean store: exit %d, want 0\n%s", code, out)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments to corrupt: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 12 is inside the first record's payload; the second record
+	// after it proves the damage is not an append in flight.
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 12); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if out, code := runCtl(t, "-scrub", "-dir", dir); code != 3 {
+		t.Errorf("scrub on a corrupt store: exit %d, want 3\n%s", code, out)
+	}
+}

@@ -1,0 +1,269 @@
+package chainsplit
+
+// One corruption taxonomy, every path: whatever layer detects invalid
+// state — a flipped WAL frame at recovery, a bad snapshot, a mangled
+// epoch (fencing) file, a poisoned replication frame on the wire, an
+// anti-entropy digest proving a replica diverged — the failure matches
+// errors.Is(err, ErrCorrupt), so one check classifies "my data is bad"
+// no matter which subsystem noticed first.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chainsplit/internal/core"
+	"chainsplit/internal/faultinject"
+	"chainsplit/internal/replica"
+	"chainsplit/internal/retry"
+	"chainsplit/internal/wal"
+)
+
+func TestCorruptionTaxonomyUnified(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T) error
+	}{
+		{"wal frame", walFrameCorruption},
+		{"snapshot", snapshotCorruption},
+		{"epoch file", epochFileCorruption},
+		{"replication frame", replicationFrameCorruption},
+		{"anti-entropy digest", digestDivergence},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := c.corrupt(t)
+			if err == nil {
+				t.Fatal("corruption went undetected")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corruption error outside the taxonomy: %v (want errors.Is ErrCorrupt)", err)
+			}
+		})
+	}
+}
+
+// walFrameCorruption flips a payload byte in a non-final log record;
+// recovery must refuse the store (a mid-log checksum mismatch cannot
+// masquerade as a torn tail — valid frames follow it).
+func walFrameCorruption(t *testing.T) error {
+	dir := t.TempDir()
+	db, err := OpenWith(Config{Dir: dir, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := db.Exec(fmt.Sprintf("n(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlyMatch(t, dir, "wal-*.log")
+	offsets, _, err := wal.RecordOffsets(seg)
+	if err != nil || len(offsets) < 2 {
+		t.Fatalf("RecordOffsets: %v %v", offsets, err)
+	}
+	flipFileByte(t, seg, offsets[0]+12)
+	return failedOpen(t, dir)
+}
+
+// snapshotCorruption flips a byte in every snapshot image; recovery
+// must refuse rather than guess at the base state.
+func snapshotCorruption(t *testing.T) error {
+	dir := t.TempDir()
+	db, err := OpenWith(Config{Dir: dir, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Exec(fmt.Sprintf("n(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.csdb"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots written: %v %v", snaps, err)
+	}
+	for _, snap := range snaps {
+		fi, err := os.Stat(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipFileByte(t, snap, fi.Size()/2)
+	}
+	return failedOpen(t, dir)
+}
+
+// epochFileCorruption flips a byte in the persisted fencing record;
+// guessing at fencing state is the one thing that record exists to
+// prevent, so the open must refuse.
+func epochFileCorruption(t *testing.T) error {
+	dir := t.TempDir()
+	db, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("n(1)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.WriteEpochState(dir, wal.EpochState{Epoch: 3, MaxSeen: 3}); err != nil {
+		t.Fatal(err)
+	}
+	flipFileByte(t, filepath.Join(dir, "epoch"), 10)
+	return failedOpen(t, dir)
+}
+
+// replicationFrameCorruption flips a byte in every frame the leader
+// sends; the follower session (bounded to a single attempt so the
+// failure is terminal, not retried) must die on the poisoned stream
+// without applying anything.
+func replicationFrameCorruption(t *testing.T) error {
+	leader, addr := corruptTestLeader(t)
+	defer leader.Close()
+	restore := faultinject.SetData(faultinject.SiteReplicaSend, func(b []byte) ([]byte, error) {
+		if len(b) > 12 {
+			mangled := append([]byte(nil), b...)
+			mangled[12] ^= 0x40
+			return mangled, nil
+		}
+		return b, nil
+	})
+	defer restore()
+
+	inner, err := core.OpenFollowerDir(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	sess, err := replica.StartFollower(inner, addr, replica.FollowerConfig{
+		Retry: retry.Policy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for sess.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("session never terminated on the poisoned stream")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if inner.Generation() != 0 {
+		t.Errorf("follower applied %d records from a poisoned stream", inner.Generation())
+	}
+	return sess.Err()
+}
+
+// digestDivergence flips the anti-entropy digest on the wire: the
+// follower's state check must fail, end the session as diverged (never
+// retried — reconnecting cannot repair diverged state), and report
+// through OnDivergence.
+func digestDivergence(t *testing.T) error {
+	leader, addr := corruptTestLeader(t)
+	defer leader.Close()
+	restore := faultinject.SetData(faultinject.SiteReplicaDigest, func(b []byte) ([]byte, error) {
+		mangled := append([]byte(nil), b...)
+		mangled[0] ^= 0x40
+		return mangled, nil
+	})
+	defer restore()
+
+	inner, err := core.OpenFollowerDir(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	diverged := make(chan error, 1)
+	sess, err := replica.StartFollower(inner, addr, replica.FollowerConfig{
+		OnDivergence: func(err error) { diverged <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	select {
+	case err := <-diverged:
+		if !sess.Diverged() {
+			t.Error("OnDivergence fired but Diverged() is false")
+		}
+		if !errors.Is(err, replica.ErrDivergence) {
+			t.Errorf("divergence error is not ErrDivergence: %v", err)
+		}
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("digest mismatch never detected")
+		return nil
+	}
+}
+
+// corruptTestLeader opens a durable leader with one fact and a
+// replication listener.
+func corruptTestLeader(t *testing.T) (*DB, string) {
+	t.Helper()
+	leader, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Exec("n(1)."); err != nil {
+		leader.Close()
+		t.Fatal(err)
+	}
+	addr, err := leader.ServeReplication("127.0.0.1:0")
+	if err != nil {
+		leader.Close()
+		t.Fatal(err)
+	}
+	return leader, addr
+}
+
+// onlyMatch returns the single file matching pattern under dir.
+func onlyMatch(t *testing.T, dir, pattern string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one %s in %s, got %v (%v)", pattern, dir, matches, err)
+	}
+	return matches[0]
+}
+
+// flipFileByte flips one bit of the byte at off in path, in place.
+func flipFileByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x40
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failedOpen opens a store expected to refuse and returns its error.
+func failedOpen(t *testing.T, dir string) error {
+	t.Helper()
+	db, err := OpenDir(dir)
+	if err == nil {
+		db.Close()
+		t.Fatal("open of a corrupted store succeeded")
+	}
+	return err
+}

@@ -1,8 +1,11 @@
 package chainsplit
 
 import (
+	"fmt"
+
 	"chainsplit/internal/core"
 	"chainsplit/internal/everr"
+	"chainsplit/internal/scrub"
 	"chainsplit/internal/wal"
 )
 
@@ -50,6 +53,17 @@ var (
 	// restarts; only an explicit Promote (a fresh epoch) makes the
 	// database writable again. See docs/cluster.md.
 	ErrFenced = everr.ErrFenced
+	// ErrQuarantined marks an operation shed by a node that detected
+	// corruption in its own state — an online scrub found a bad frame,
+	// or anti-entropy proved the replica diverged from its leader — and
+	// took itself out of service rather than serve or accept anything it
+	// cannot vouch for. In a cluster the node repairs itself (wipe,
+	// re-seed from the leader, rejoin; see docs/robustness.md) and the
+	// router routes around it meanwhile; standalone databases stay
+	// quarantined until reopened from a good store. Quarantine is
+	// deliberately not durable: a restart re-verifies the store through
+	// recovery, which is the authoritative judgment.
+	ErrQuarantined = everr.ErrQuarantined
 )
 
 // ErrNoStore matches the Fsck error for a directory that holds no
@@ -77,6 +91,28 @@ func Fsck(dir string) (report string, ok bool, err error) {
 	rep, err := wal.Fsck(dir)
 	if err != nil {
 		return "", false, err
+	}
+	return rep.String(), rep.OK(), nil
+}
+
+// Scrub runs one online integrity pass over the durable store under
+// dir: the same checks as Fsck, with the live-writer leniencies the
+// background scrubber applies (an in-flight append on the final
+// segment is not corruption, a file pruned by a checkpoint mid-pass is
+// skipped) — so unlike Fsck it is safe, and meaningful, against a
+// store another process is actively writing. Reads are throttled to
+// the scrubber's default byte rate. See Config.ScrubEvery for the
+// continuous form.
+func Scrub(dir string) (report string, ok bool, err error) {
+	rep, perr := scrub.New(scrub.Config{Dir: dir}).Pass()
+	if perr != nil {
+		return "", false, perr
+	}
+	if len(rep.Checked) == 0 && rep.OK() {
+		// Pass treats an empty directory as a clean no-op (a scrubber
+		// may start before the first write); a one-shot check of a
+		// store that does not exist is a usage error, as with Fsck.
+		return "", false, fmt.Errorf("%w: %s", wal.ErrNoStore, dir)
 	}
 	return rep.String(), rep.OK(), nil
 }

@@ -23,6 +23,7 @@
 package cluster
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -144,6 +145,33 @@ func (c *Coordinator) Deposed() []Node {
 // Failovers returns how many failovers this coordinator has committed.
 func (c *Coordinator) Failovers() int64 { return c.failovers.Load() }
 
+// Rejoin re-admits a repaired node to the routing set as a follower:
+// off the deposed list, into the follower rotation. The serving layer
+// calls it after quarantine-and-reseed completes — the node has wiped
+// its state, re-seeded from the current leader and caught up, so it is
+// as good a read replica (and failover candidate) as any. A node that
+// is currently the leader, or already a follower, is left alone.
+func (c *Coordinator) Rejoin(n Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, d := range c.deposed {
+		if d == n {
+			c.deposed = append(c.deposed[:i], c.deposed[i+1:]...)
+			break
+		}
+	}
+	if n == c.leader {
+		return
+	}
+	for _, f := range c.followers {
+		if f == n {
+			return
+		}
+	}
+	c.followers = append(c.followers, n)
+	sort.Slice(c.followers, func(i, j int) bool { return c.followers[i].ID() < c.followers[j].ID() })
+}
+
 // Close stops the probe loop. The nodes themselves are untouched.
 func (c *Coordinator) Close() {
 	select {
@@ -162,7 +190,17 @@ func (c *Coordinator) Close() {
 // hook that partitions the leader cannot also veto every successor.
 func (c *Coordinator) run() {
 	defer close(c.done)
-	t := time.NewTicker(c.cfg.Heartbeat)
+	// The probe cadence is jittered ±20% per beat: coordinators (and
+	// anything else on a Heartbeat-multiple cadence — scrub passes,
+	// anti-entropy digests) must not synchronize into probing storms,
+	// and a probe landing at a fixed phase of the leader's own periodic
+	// work would alias real load into false suspicion.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	jittered := func() time.Duration {
+		spread := int64(c.cfg.Heartbeat) / 5
+		return c.cfg.Heartbeat + time.Duration(rng.Int63n(2*spread+1)-spread)
+	}
+	t := time.NewTimer(jittered())
 	defer t.Stop()
 	missed := 0
 	for {
@@ -171,6 +209,7 @@ func (c *Coordinator) run() {
 			return
 		case <-t.C:
 		}
+		t.Reset(jittered())
 		err := faultinject.Fire(faultinject.SiteClusterProbe)
 		if err == nil {
 			err = c.Leader().Probe()

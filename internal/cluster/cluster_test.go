@@ -377,3 +377,52 @@ func TestNodeFaultClassification(t *testing.T) {
 		}
 	}
 }
+
+func TestRejoinReadmitsRepairedNode(t *testing.T) {
+	c, leader, _ := newCluster(t, 5, 3)
+	// Depose the leader so there is a node on the deposed list.
+	leader.setDown(true)
+	waitFailovers(t, c, 1)
+	if got := len(c.Deposed()); got != 1 {
+		t.Fatalf("%d deposed nodes after failover, want 1", got)
+	}
+
+	// Rejoin the repaired ex-leader: off the deposed list, into the
+	// follower rotation, sorted by ID.
+	leader.setDown(false)
+	c.Rejoin(leader)
+	if got := len(c.Deposed()); got != 0 {
+		t.Fatalf("%d deposed nodes after rejoin, want 0", got)
+	}
+	fs := c.Followers()
+	found := false
+	for i, f := range fs {
+		if f == Node(leader) {
+			found = true
+		}
+		if i > 0 && fs[i-1].ID() > f.ID() {
+			t.Fatalf("followers unsorted after rejoin: %s before %s", fs[i-1].ID(), f.ID())
+		}
+	}
+	if !found {
+		t.Fatal("rejoined node is not in the follower rotation")
+	}
+
+	// Idempotent: rejoining an existing follower must not duplicate it,
+	// and rejoining the current leader must not demote it.
+	before := len(c.Followers())
+	c.Rejoin(leader)
+	if got := len(c.Followers()); got != before {
+		t.Fatalf("double rejoin grew the follower set: %d -> %d", before, got)
+	}
+	cur := c.Leader()
+	c.Rejoin(cur)
+	if c.Leader() != cur {
+		t.Fatal("rejoining the leader changed leadership")
+	}
+	for _, f := range c.Followers() {
+		if f == cur {
+			t.Fatal("rejoining the leader demoted it to a follower")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+// Hedged reads racing context cancellation. The hedge machinery runs
+// two attempts against a channel sized for both outcomes, so whichever
+// way the race lands — cancel first, winner first, straggler never
+// reporting until after the read returned — the caller gets exactly one
+// result, the loser's goroutine drains into the buffered channel, and
+// nothing leaks.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chainsplit/internal/everr"
+)
+
+// routerGoroutineGuard snapshots the goroutine count and returns a
+// check that the count returns to it (small slack for runtime
+// housekeeping) — the loser of a hedge race must not outlive the read.
+func routerGoroutineGuard(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutines leaked by hedged reads: %d, started with %d", runtime.NumGoroutine(), base)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestRouterHedgedReadCancellation(t *testing.T) {
+	c, _, _ := newCluster(t, 1, 1)
+	checkLeaks := routerGoroutineGuard(t)
+	r := NewRouter(c, RouterConfig{HedgeAfter: 2 * time.Millisecond})
+
+	// Cancel while both the primary and the hedge are in flight: the
+	// read settles promptly on the canceled attempt's typed error —
+	// query-attributable, so it is returned rather than rerouted — and
+	// the other attempt drains quietly.
+	ctx, cancel := context.WithCancel(context.Background())
+	inflight := make(chan struct{}, 4)
+	blocked := func(ctx context.Context, n Node) (any, error) {
+		inflight <- struct{}{}
+		<-ctx.Done()
+		return nil, everr.ErrCanceled
+	}
+	go func() {
+		<-inflight
+		<-inflight // both the primary and the hedge are running
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := r.Read(ctx, blocked); !errors.Is(err, everr.ErrCanceled) {
+		t.Fatalf("canceled hedged read: %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("canceled hedged read took %v — it blocked on the losing attempt", d)
+	}
+
+	// Cancellation must not have tripped any breaker: a typed cancel is
+	// the query's fault, and the next read still routes to a follower.
+	v, err := r.Read(context.Background(), func(_ context.Context, n Node) (any, error) {
+		return n.ID(), nil
+	})
+	if err != nil || (v.(string) != "n1" && v.(string) != "n2") {
+		t.Fatalf("follower skipped after canceled reads: v=%v err=%v", v, err)
+	}
+
+	// The first result wins the race: the hedge answers while the
+	// primary is still wedged on a context that cancels only after the
+	// read returned. The straggler's outcome lands in the buffered
+	// channel and its goroutine exits — checked by the leak guard.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var claimed atomic.Bool
+	read := func(ctx context.Context, n Node) (any, error) {
+		if claimed.CompareAndSwap(false, true) {
+			<-ctx.Done() // primary: wedge until the post-read cancel
+			return nil, everr.ErrCanceled
+		}
+		return "hedge:" + n.ID(), nil
+	}
+	v, err = r.Read(ctx2, read)
+	if err != nil {
+		t.Fatalf("hedged read with wedged primary: %v", err)
+	}
+	if s := v.(string); s != "hedge:n1" && s != "hedge:n2" && s != "hedge:n0" {
+		t.Fatalf("unexpected hedge winner %q", s)
+	}
+	cancel2() // release the wedged primary; it must drain, not leak
+
+	checkLeaks()
+}

@@ -279,6 +279,12 @@ type DB struct {
 	writeMu sync.Mutex
 	gen     atomic.Pointer[generation]
 
+	// digestScratch is the reusable encode buffer for the anti-entropy
+	// digest fold. Guarded by writeMu (only mutators fold), it keeps
+	// steady-state writes at zero digest allocations: the first fold
+	// ever grows it, every later write reuses it.
+	digestScratch []byte
+
 	// store is the write-ahead log backing this database, nil for the
 	// in-memory default. Guarded by writeMu: only mutators touch it.
 	// When set, every mutation is framed, checksummed and fsynced
@@ -316,6 +322,15 @@ type DB struct {
 	// fenced ex-leader reopened from its own dir comes back read-only —
 	// never silently writable.
 	fenced atomic.Bool
+
+	// quarantined marks a node that detected corruption or divergence
+	// in its own state (failed scrub pass, anti-entropy digest
+	// mismatch): mutations and bounded reads are shed with
+	// everr.ErrQuarantined until the repair layer clears it. Unlike
+	// follower/fenced it is never persisted — a restart re-verifies
+	// state through ordinary recovery, which is stricter than any
+	// quarantine.
+	quarantined atomic.Bool
 }
 
 // generation is one immutable database state: the programs, the EDB
@@ -327,6 +342,14 @@ type generation struct {
 	source *program.Program // as written
 	prog   *program.Program // rectified
 	cat    *relation.Catalog
+
+	// digest is the chained anti-entropy checksum over the fact stream
+	// up to this generation: each appended fact folds into the parent's
+	// digest via the canonical term encoding, so the value is a pure
+	// function of the ordered fact list — identical on a leader and on
+	// any replica that applied the same mutations, whatever snapshot or
+	// replay path built it. See digest.go.
+	digest uint64
 
 	// anMu guards the lazily built analysis. Fact-only generations
 	// inherit the previous generation's analysis: finiteness is a
@@ -342,6 +365,7 @@ func NewDB() *DB {
 		source: &program.Program{},
 		prog:   &program.Program{},
 		cat:    relation.NewCatalog(),
+		digest: digestSeed,
 	})
 	return db
 }
@@ -363,6 +387,7 @@ func (g *generation) evolve() *generation {
 		source: cappedProgram(g.source),
 		prog:   cappedProgram(g.prog),
 		cat:    g.cat.Snapshot(),
+		digest: g.digest,
 	}
 }
 
@@ -404,6 +429,9 @@ func (db *DB) Load(p *program.Program) error {
 		obsv.FencedWrites.Inc()
 		return everr.ErrFenced
 	}
+	if db.quarantined.Load() {
+		return everr.ErrQuarantined
+	}
 	next := db.buildProgramGen(p)
 	if db.store != nil {
 		if err := db.store.Append(wal.Record{Seq: next.seq, Type: wal.RecExec, Src: p.String()}); err != nil {
@@ -432,6 +460,7 @@ func (db *DB) buildProgramGen(p *program.Program) *generation {
 		if next.cat.Ensure(f.Pred, f.Arity()).Insert(relation.Tuple(f.Args)) {
 			next.source.Facts = append(next.source.Facts, f)
 			next.prog.Facts = append(next.prog.Facts, f)
+			next.digest, db.digestScratch = digestFact(next.digest, f.Pred, f.Args, db.digestScratch)
 		}
 	}
 	next.source.Pragmas = append(next.source.Pragmas, p.Pragmas...)
@@ -681,6 +710,9 @@ func (db *DB) LoadTuples(pred string, tuples [][]term.Term) error {
 		obsv.FencedWrites.Inc()
 		return everr.ErrFenced
 	}
+	if db.quarantined.Load() {
+		return everr.ErrQuarantined
+	}
 	next, err := db.buildTuplesGen(pred, tuples)
 	if err != nil {
 		return err
@@ -726,6 +758,7 @@ func (db *DB) buildTuplesGen(pred string, tuples [][]term.Term) (*generation, er
 		if rel.Insert(relation.Tuple(tup)) {
 			next.prog.Facts = append(next.prog.Facts, program.Atom{Pred: pred, Args: tup})
 			next.source.Facts = append(next.source.Facts, program.Atom{Pred: pred, Args: tup})
+			next.digest, db.digestScratch = digestFact(next.digest, pred, tup, db.digestScratch)
 		}
 	}
 	return next, nil

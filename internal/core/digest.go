@@ -1,0 +1,66 @@
+package core
+
+// The anti-entropy state digest: a chained FNV-64a checksum over the
+// global fact stream, folded incrementally as facts are appended. The
+// fold uses the canonical binary term encoding (term.AppendEncode, the
+// same encoding WAL dictionaries persist), never process-local interned
+// IDs, so the value is stable across processes: a leader and a replica
+// holding the same ordered fact list compute the same digest no matter
+// which mix of snapshot bootstrap, WAL replay and live replication
+// built their state. The replication layer ships the leader's
+// (generation, digest) pair periodically; a follower whose digest for
+// the same generation differs has diverged and must not keep serving.
+
+import (
+	"chainsplit/internal/term"
+)
+
+// FNV-64a parameters; the digest chain starts at the offset basis.
+const (
+	digestSeed    = 14695981039346656037
+	digestPrime64 = 1099511628211
+)
+
+// digestFact folds one appended fact into the chained digest. scratch
+// is a reusable encode buffer returned for the caller's next fold, so
+// a bulk load amortizes to zero allocations after the first term.
+// Length prefixes keep the fold injective over (pred, args) framing.
+func digestFact(h uint64, pred string, args []term.Term, scratch []byte) (uint64, []byte) {
+	h = digestUint64(h, uint64(len(pred)))
+	for i := 0; i < len(pred); i++ {
+		h = (h ^ uint64(pred[i])) * digestPrime64
+	}
+	h = digestUint64(h, uint64(len(args)))
+	for _, a := range args {
+		enc, err := term.AppendEncode(scratch[:0], a)
+		if err != nil {
+			// Non-encodable (non-ground) terms cannot reach the fact
+			// stream; if one ever does, fold a marker deterministically
+			// rather than diverging on error handling.
+			h = digestUint64(h, ^uint64(0))
+			continue
+		}
+		scratch = enc
+		h = digestUint64(h, uint64(len(enc)))
+		for _, b := range enc {
+			h = (h ^ uint64(b)) * digestPrime64
+		}
+	}
+	return h, scratch
+}
+
+// digestUint64 folds one length/word into the digest, little-endian.
+func digestUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * digestPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// StateDigest returns the current generation and its chained fact-
+// stream digest, read together from one pinned generation (lock-free).
+func (db *DB) StateDigest() (gen, digest uint64) {
+	g := db.current()
+	return g.seq, g.digest
+}

@@ -105,6 +105,7 @@ func genFromSnapshot(snap *wal.Snapshot) (*generation, error) {
 		source: &program.Program{},
 		prog:   &program.Program{},
 		cat:    relation.NewCatalog(),
+		digest: digestSeed,
 	}
 	for _, r := range p.Rules {
 		next.source.Rules = append(next.source.Rules, r)
@@ -112,6 +113,7 @@ func genFromSnapshot(snap *wal.Snapshot) (*generation, error) {
 	}
 	next.source.Pragmas = append(next.source.Pragmas, p.Pragmas...)
 	next.prog.Pragmas = append(next.prog.Pragmas, p.Pragmas...)
+	var scratch []byte
 	for _, fr := range snap.Facts {
 		rel := next.cat.Get(fr.Pred)
 		if rel != nil && rel.Arity() != len(fr.Tuple) {
@@ -121,6 +123,10 @@ func genFromSnapshot(snap *wal.Snapshot) (*generation, error) {
 		if next.cat.Ensure(fr.Pred, len(fr.Tuple)).Insert(relation.Tuple(fr.Tuple)) {
 			next.source.Facts = append(next.source.Facts, f)
 			next.prog.Facts = append(next.prog.Facts, f)
+			// The digest re-folds in snapshot order — the original
+			// accumulation order — so a bootstrapped replica lands on
+			// the same chained value the leader reached incrementally.
+			next.digest, scratch = digestFact(next.digest, fr.Pred, fr.Tuple, scratch)
 		}
 	}
 	return next, nil

@@ -1,0 +1,44 @@
+package core
+
+// Quarantine: the shedding half of self-healing storage. A node that
+// detects corruption in its own durable state (a failed online scrub
+// pass) or divergence from the leader (an anti-entropy digest
+// mismatch) marks itself quarantined: user-facing mutations and reads
+// are refused with everr.ErrQuarantined — serving a possibly-wrong
+// answer would be worse than refusing — while the replication apply
+// path stays open, because re-seeding from the leader IS the repair.
+// The cluster layer wires detection to Quarantine, runs the
+// wipe-and-reseed (ResetReplica + the ordinary resume handshake), and
+// calls ClearQuarantine once the node has caught back up.
+
+import (
+	"chainsplit/internal/everr"
+	"chainsplit/internal/obsv"
+)
+
+// Quarantine marks the database quarantined. It reports whether this
+// call made the transition (false if already quarantined), so exactly
+// one detector owns the repair that follows.
+func (db *DB) Quarantine() bool {
+	if db.quarantined.CompareAndSwap(false, true) {
+		obsv.Quarantines.Inc()
+		return true
+	}
+	return false
+}
+
+// ClearQuarantine lifts the quarantine after a completed repair.
+func (db *DB) ClearQuarantine() { db.quarantined.Store(false) }
+
+// Quarantined reports whether the database is quarantined.
+func (db *DB) Quarantined() bool { return db.quarantined.Load() }
+
+// CheckQuarantined gates a user-facing read: everr.ErrQuarantined when
+// the database is quarantined, nil otherwise. Kept beside
+// CheckFollowerRead so the taxonomy mapping stays in one place.
+func (db *DB) CheckQuarantined() error {
+	if db.quarantined.Load() {
+		return everr.ErrQuarantined
+	}
+	return nil
+}

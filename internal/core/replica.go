@@ -19,6 +19,8 @@ import (
 	"chainsplit/internal/everr"
 	"chainsplit/internal/lang"
 	"chainsplit/internal/obsv"
+	"chainsplit/internal/program"
+	"chainsplit/internal/relation"
 	"chainsplit/internal/term"
 	"chainsplit/internal/wal"
 )
@@ -130,6 +132,47 @@ func (db *DB) BootstrapReplica(snap *wal.Snapshot) error {
 		db.store = s
 	}
 	db.publish(next)
+	return nil
+}
+
+// ResetReplica wipes the node's state so it can re-seed from the
+// current leader through the ordinary resume handshake — the repair
+// half of quarantine. The durable store (if any) is wiped and
+// re-created empty at generation 0, the published state drops to the
+// empty generation, and the database becomes a follower (a corrupt
+// ex-leader has, by definition, no state worth leading with). Epoch
+// knowledge is preserved and re-persisted — a repaired node must still
+// refuse streams from deposed leaders — with the fenced flag cleared:
+// the node is now an ordinary follower, not a deposed leader. A
+// follower restarted at generation 0 resumes from the leader exactly
+// as a brand-new one does: tailed records if the leader retains full
+// history, a shipped snapshot otherwise.
+func (db *DB) ResetReplica() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.store != nil {
+		dir, opts := db.store.Dir(), db.store.Options()
+		if err := db.store.Close(); err != nil {
+			return err
+		}
+		s, err := wal.Bootstrap(dir, &wal.Snapshot{Seq: 0}, opts)
+		if err != nil {
+			return err
+		}
+		if err := wal.WriteEpochState(dir, wal.EpochState{Epoch: db.epoch.Load(), MaxSeen: db.epochSeen.Load()}); err != nil {
+			s.Close()
+			return err
+		}
+		db.store = s
+	}
+	db.follower.Store(true)
+	db.fenced.Store(false)
+	db.publish(&generation{
+		source: &program.Program{},
+		prog:   &program.Program{},
+		cat:    relation.NewCatalog(),
+		digest: digestSeed,
+	})
 	return nil
 }
 

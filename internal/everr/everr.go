@@ -66,6 +66,13 @@ var (
 	// a newer epoch — and sticks across restarts until an explicit
 	// promotion under a fresh epoch.
 	ErrFenced = errors.New("leader is fenced (a successor holds a higher epoch)")
+	// ErrQuarantined reports a query or mutation shed by a node that has
+	// detected corruption or divergence in its own state (a failed scrub
+	// pass or an anti-entropy digest mismatch) and quarantined itself
+	// while it re-seeds from the leader. Serving a possibly-wrong answer
+	// would be worse than refusing; another replica (or the leader) can
+	// serve it, and the node clears the quarantine once repaired.
+	ErrQuarantined = errors.New("node is quarantined (corruption detected, repair in progress)")
 )
 
 // Tag returns an error that renders exactly as msg but matches cause

@@ -66,6 +66,18 @@ const (
 	SiteReplicaEpoch = "replica.epoch" // bytes of the epoch-state file, pre-write
 )
 
+// The self-healing-storage injection sites. The scrub data site
+// carries each file image the online scrubber (internal/scrub) reads,
+// so a hook can show the scrubber corruption the real disk does not
+// have (or hide corruption it does); the digest data site carries the
+// 8-byte state digest a follower is about to verify against its own,
+// so a hook flipping a bit forces a divergence verdict without
+// touching any durable state.
+const (
+	SiteScrubRead     = "scrub.read"     // bytes of one file image, post-read, scrubber only
+	SiteReplicaDigest = "replica.digest" // the shipped 8-byte state digest, pre-verify
+)
+
 // ErrSkipOp, returned by a hook at a sync site, makes the caller skip
 // the real operation while reporting success — an injected "fsync
 // lie". Data already handed to the OS may then be lost on the next

@@ -166,6 +166,30 @@ var (
 	// HedgedReads counts second (hedge) attempts launched by cluster
 	// routers for reads whose first replica was slow.
 	HedgedReads = NewCounter("chainsplit_cluster_hedged_reads_total", "hedge attempts launched for slow routed reads")
+
+	// ScrubPasses counts completed online scrub passes over live
+	// durable stores.
+	ScrubPasses = NewCounter("chainsplit_scrub_passes_total", "online integrity scrub passes completed")
+	// ScrubCorruptions counts scrub passes that found at least one
+	// integrity problem.
+	ScrubCorruptions = NewCounter("chainsplit_scrub_corruptions_total", "scrub passes that detected corruption")
+	// DigestsVerified counts anti-entropy state digests a follower
+	// checked against its own state and found matching.
+	DigestsVerified = NewCounter("chainsplit_replica_digests_verified_total", "anti-entropy state digests verified by followers")
+	// DigestDivergences counts anti-entropy digest mismatches — a
+	// follower's state diverged from the leader's at the same
+	// generation.
+	DigestDivergences = NewCounter("chainsplit_replica_digest_divergences_total", "anti-entropy digest mismatches detected by followers")
+	// Quarantines counts nodes that quarantined themselves after a
+	// failed scrub pass or digest check.
+	Quarantines = NewCounter("chainsplit_cluster_quarantines_total", "nodes quarantined after detected corruption or divergence")
+	// Reseeds counts quarantined nodes that completed the wipe-and-
+	// reseed repair and rejoined the cluster.
+	Reseeds = NewCounter("chainsplit_cluster_reseeds_total", "quarantined nodes repaired by re-seeding from the leader")
+	// ReconnectEvents counts backoff-gated reconnect NOTICES (not
+	// attempts — ReplicaReconnects counts every attempt); repeated
+	// failures inside one backoff window collapse into a single event.
+	ReconnectEvents = NewCounter("chainsplit_replica_reconnect_events_total", "backoff-gated reconnect failure events (collapsed from per-attempt noise)")
 )
 
 func init() {

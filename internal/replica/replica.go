@@ -29,6 +29,22 @@
 //	MsgRecord    1 | epoch uint64 BE | leader generation uint64 BE | record payload (wal.EncodeRecord, stream dict)
 //	MsgSnapshot  2 | epoch uint64 BE | leader generation uint64 BE | snapshot image (wal.EncodeSnapshot)
 //	MsgHeartbeat 3 | epoch uint64 BE | leader generation uint64 BE
+//	MsgDigest    4 | epoch uint64 BE | digest generation uint64 BE | state digest uint64 BE
+//
+// MsgDigest is the anti-entropy check: the generation field names the
+// generation the digest was computed at (a pinned read, not the
+// leader's position "now"), and the body is the leader's chained state
+// digest over every fact up to that generation (core.DB.StateDigest).
+// A follower holds the claim until its own generation reaches the
+// claimed one, then compares digests. A mismatch is not a wire error —
+// the frame's CRC proved the bytes arrived intact — it is divergence:
+// the follower's *state* disagrees with the leader's at a generation
+// both have applied, which per-record CRCs can never detect (a bad
+// apply, a bit flip in memory or on the follower's disk after the
+// append). Divergence fails the session with ErrDivergence, is never
+// retried (reconnecting cannot repair state), and reports through
+// FollowerConfig.OnDivergence so the cluster layer can quarantine and
+// re-seed the node.
 //
 // Records ship in generation order, re-encoded against a
 // per-connection dictionary (segment-local dictionaries from disk
@@ -83,7 +99,16 @@ const (
 	MsgRecord    byte = 1
 	MsgSnapshot  byte = 2
 	MsgHeartbeat byte = 3
+	MsgDigest    byte = 4
 )
+
+// ErrDivergence reports an anti-entropy digest mismatch: the follower
+// reached the leader's claimed generation with different state. It
+// wraps wal.ErrCorrupt (divergence IS corruption, somewhere), is never
+// retryable (reconnecting re-ships records the follower already has;
+// only a wipe-and-reseed repairs state), and surfaces through
+// FollowerConfig.OnDivergence.
+var ErrDivergence = fmt.Errorf("%w: follower state diverged from leader (anti-entropy digest mismatch)", wal.ErrCorrupt)
 
 // handshakeMagic opens every follower connection; the leader echoes
 // it. The trailing digits version the protocol.
@@ -95,6 +120,15 @@ const (
 	defaultPoll        = 2 * time.Millisecond
 	defaultReadTimeout = 250 * time.Millisecond
 	dialTimeout        = time.Second
+	// defaultDigestEvery is the anti-entropy cadence: how often an idle
+	// connection ships a state digest for the follower to verify.
+	defaultDigestEvery = 100 * time.Millisecond
+	// reconnectEventWindow gates reconnect-failure *event* emission: a
+	// follower stuck behind a partition retries every few milliseconds,
+	// and per-attempt events would be pure noise. The per-attempt
+	// counter (ReplicaReconnects) still counts every attempt; the event
+	// counter (ReconnectEvents) bumps at most once per window.
+	reconnectEventWindow = time.Second
 	// writeTimeout bounds every leader-side write. A silently
 	// partitioned or stalled follower would otherwise block conn.Write
 	// until the kernel's TCP retransmission timeout (~15 minutes) once
@@ -148,6 +182,10 @@ type LeaderConfig struct {
 	// Poll is the interval at which an idle connection re-polls the
 	// log tail for new records (default 2ms).
 	Poll time.Duration
+	// DigestEvery is the anti-entropy cadence: how often the leader
+	// ships a MsgDigest frame for the follower to verify its state
+	// against (default 100ms; negative disables digests).
+	DigestEvery time.Duration
 }
 
 // Leader serves a durable database's WAL to followers.
@@ -180,6 +218,9 @@ func Serve(db *core.DB, addr string, cfg LeaderConfig) (*Leader, error) {
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = defaultPoll
+	}
+	if cfg.DigestEvery == 0 {
+		cfg.DigestEvery = defaultDigestEvery
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -316,6 +357,7 @@ func (l *Leader) serveConn(conn net.Conn) {
 
 	enc := wal.NewEncDict()
 	lastBeat := time.Now()
+	lastDigest := time.Now()
 	for {
 		select {
 		case <-l.stop:
@@ -367,6 +409,17 @@ func (l *Leader) serveConn(conn net.Conn) {
 			continue
 		}
 		if len(recs) == 0 {
+			// Anti-entropy rides the idle stream: a digest is only
+			// meaningful against a generation the follower can reach, so
+			// it is sent between records, never racing a batch. Digest
+			// frames carry a generation too, so they double as a beat.
+			if l.cfg.DigestEvery > 0 && time.Since(lastDigest) >= l.cfg.DigestEvery {
+				if err := send(conn, l.digestFrame()); err != nil {
+					return
+				}
+				lastDigest = time.Now()
+				lastBeat = lastDigest
+			}
 			if time.Since(lastBeat) >= l.cfg.Heartbeat {
 				if err := send(conn, l.frame(MsgHeartbeat, nil)); err != nil {
 					return
@@ -423,6 +476,21 @@ func (l *Leader) frame(typ byte, body []byte) []byte {
 	return wal.Frame(append(buf, body...))
 }
 
+// digestFrame builds one anti-entropy frame. Unlike frame(), whose
+// epoch and generation reads may straddle a concurrent publish, the
+// generation here comes from the same pinned StateDigest read as the
+// digest itself — the claim "at generation G the digest is D" must be
+// internally consistent or honest followers would flag divergence.
+func (l *Leader) digestFrame() []byte {
+	gen, digest := l.db.StateDigest()
+	var buf [25]byte
+	buf[0] = MsgDigest
+	binary.BigEndian.PutUint64(buf[1:9], l.db.Epoch())
+	binary.BigEndian.PutUint64(buf[9:17], gen)
+	binary.BigEndian.PutUint64(buf[17:25], digest)
+	return wal.Frame(buf[:])
+}
+
 // isMissingSegment reports a rotation race: the tail tried to open a
 // segment the leader pruned between the directory scan and the open.
 // Only a vanished file counts — a persistent open failure (EACCES, fd
@@ -445,8 +513,15 @@ type FollowerConfig struct {
 	// everr taxonomy, so retry.DefaultRetryable would refuse them).
 	// Set MaxAttempts to bound how long a session outlives its leader
 	// — including 1 for a single attempt, per retry.Policy — or
-	// Retryable to stop on errors you consider fatal.
+	// Retryable to stop on errors you consider fatal. ErrDivergence is
+	// never retried regardless of the policy: reconnecting cannot
+	// repair diverged state.
 	Retry retry.Policy
+	// OnDivergence is called (once, from the session goroutine) when
+	// the session ends on an anti-entropy digest mismatch. The cluster
+	// layer wires it to quarantine-and-reseed; the session itself only
+	// stops streaming.
+	OnDivergence func(error)
 }
 
 // Session is a running follower: a background goroutine that tails
@@ -463,9 +538,11 @@ type Session struct {
 	lastSync  atomic.Int64
 	leaderGen atomic.Uint64
 	connected atomic.Bool
+	diverged  atomic.Bool
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	termErr error // set before done closes; see Err
 
 	cancel func()
 	done   chan struct{}
@@ -501,6 +578,12 @@ func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, erro
 	if pol.Retryable == nil {
 		pol.Retryable = func(error) bool { return true }
 	}
+	// Divergence is fatal no matter what the caller's policy says:
+	// every reconnect would just re-verify the same diverged state.
+	inner := pol.Retryable
+	pol.Retryable = func(err error) bool {
+		return !errors.Is(err, ErrDivergence) && inner(err)
+	}
 	cfg.Retry = pol
 
 	// lastSync stays 0 ("never synced") until the first frame proves
@@ -513,9 +596,18 @@ func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, erro
 	go func() {
 		defer close(s.done)
 		first := true
-		s.cfg.Retry.Do(ctx, func() error {
+		var lastEvent time.Time
+		_, err := s.cfg.Retry.Do(ctx, func() error {
 			if !first {
 				obsv.ReplicaReconnects.Inc()
+				// Per-attempt counting stays (cheap, and capacity math
+				// wants the true attempt rate); *event* emission is
+				// backoff-gated to one per window so a long partition
+				// reads as one ongoing incident, not thousands.
+				if lastEvent.IsZero() || time.Since(lastEvent) >= reconnectEventWindow {
+					obsv.ReconnectEvents.Inc()
+					lastEvent = time.Now()
+				}
 			}
 			first = false
 			err := s.streamOnce(ctx)
@@ -526,6 +618,15 @@ func StartFollower(db *core.DB, addr string, cfg FollowerConfig) (*Session, erro
 			}
 			return err
 		})
+		s.mu.Lock()
+		s.termErr = err
+		s.mu.Unlock()
+		if err != nil && errors.Is(err, ErrDivergence) {
+			s.diverged.Store(true)
+			if s.cfg.OnDivergence != nil {
+				s.cfg.OnDivergence(err)
+			}
+		}
 	}()
 	return s, nil
 }
@@ -580,6 +681,34 @@ func (s *Session) streamOnce(ctx context.Context) error {
 	s.connected.Store(true)
 
 	dec := wal.NewDecDict()
+	// The pending anti-entropy claim: "at generation pendingGen the
+	// leader's digest was pendingDigest". Held until this follower's
+	// generation reaches the claimed one (checked after every frame, so
+	// a claim received mid-backlog verifies the moment the applying
+	// record draws level), dropped if a snapshot bootstrap jumps past
+	// it — a digest for a generation this follower never materialized
+	// is unverifiable, not wrong.
+	var pendingGen, pendingDigest uint64
+	havePending := false
+	checkDigest := func() error {
+		if !havePending {
+			return nil
+		}
+		gen, got := s.db.StateDigest()
+		if gen < pendingGen {
+			return nil
+		}
+		havePending = false
+		if gen > pendingGen {
+			return nil
+		}
+		if got != pendingDigest {
+			obsv.DigestDivergences.Inc()
+			return fmt.Errorf("%w: at generation %d follower digest %016x, leader claims %016x", ErrDivergence, pendingGen, got, pendingDigest)
+		}
+		obsv.DigestsVerified.Inc()
+		return nil
+	}
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -641,8 +770,20 @@ func (s *Session) streamOnce(ctx context.Context) error {
 			if len(body) != 0 {
 				return fmt.Errorf("%w: heartbeat frame of %d bytes", wal.ErrCorrupt, len(payload))
 			}
+		case MsgDigest:
+			if len(body) != 8 {
+				return fmt.Errorf("%w: digest frame of %d bytes", wal.ErrCorrupt, len(payload))
+			}
+			fb, ferr := faultinject.FireData(faultinject.SiteReplicaDigest, body)
+			if ferr != nil {
+				return ferr
+			}
+			pendingGen, pendingDigest, havePending = gen, binary.BigEndian.Uint64(fb), true
 		default:
 			return fmt.Errorf("%w: unknown replication message type %d", wal.ErrCorrupt, payload[0])
+		}
+		if err := checkDigest(); err != nil {
+			return err
 		}
 		if s.db.Generation() >= gen {
 			s.lastSync.Store(time.Now().UnixNano())
@@ -676,6 +817,28 @@ func (s *Session) LeaderGen() uint64 { return s.leaderGen.Load() }
 
 // Connected reports whether a replication stream is currently up.
 func (s *Session) Connected() bool { return s.connected.Load() }
+
+// Diverged reports whether the session ended on an anti-entropy digest
+// mismatch (ErrDivergence). A diverged session has stopped streaming
+// for good; the node needs quarantine-and-reseed, not a reconnect.
+func (s *Session) Diverged() bool { return s.diverged.Load() }
+
+// Err returns the error that ended the session, nil while it is still
+// running. A session with a bounded Retry policy surfaces its terminal
+// failure here — this is how callers observe that a stream died on a
+// corrupt frame (errors.Is(err, wal.ErrCorrupt)) or a divergence
+// (ErrDivergence) rather than a transient network fault; a session
+// ended by Stop reports the cancellation.
+func (s *Session) Err() error {
+	select {
+	case <-s.done:
+	default:
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.termErr
+}
 
 // Stop ends the session: no more records will be applied once it
 // returns. The database stays a follower; promote it separately.

@@ -28,6 +28,14 @@ type Report struct {
 	// LastSeq is the highest generation reachable from the on-disk
 	// state (0 if none).
 	LastSeq uint64
+	// Partial marks an online check that did not see a consistent
+	// directory image (a checkpoint pruned files between listing and
+	// read): per-file verdicts hold, but cross-file conclusions —
+	// coverage, LastSeq-reaches-published — were withheld.
+	Partial bool
+	// Online marks a report produced with live-writer leniencies (the
+	// scrubber's mode) rather than the strict offline Fsck semantics.
+	Online bool
 }
 
 // OK reports a clean store.
@@ -38,9 +46,14 @@ func (r *Report) problemf(format string, args ...any) {
 }
 
 // String renders the report in the style of fsck: one line per file
-// checked, one line per problem, and a verdict.
+// checked, one line per problem, and a verdict. Online (scrub) reports
+// say so, since their leniencies make "clean" a weaker claim.
 func (r *Report) String() string {
-	out := fmt.Sprintf("fsck %s\n", r.Dir)
+	label := "fsck"
+	if r.Online {
+		label = "scrub"
+	}
+	out := fmt.Sprintf("%s %s\n", label, r.Dir)
 	for _, c := range r.Checked {
 		out += "  checked " + c + "\n"
 	}
@@ -61,11 +74,24 @@ func (r *Report) String() string {
 // dictionary), generation monotonicity and contiguity, and
 // snapshot-to-log coverage. The returned error is non-nil only for
 // I/O failures reading the directory itself; integrity violations go
-// in the report.
+// in the report. The checks themselves live in the streaming Checker,
+// which the online scrubber (internal/scrub) drives against live
+// stores; Fsck is the strict offline walk over a quiescent one.
 func Fsck(dir string) (*Report, error) {
-	rep := &Report{Dir: dir}
-	// Fsck must not modify the directory it checks, so it uses the
-	// read-only scan (no .tmp cleanup).
+	return VerifyDir(dir, false, nil)
+}
+
+// VerifyDir runs one full verification pass over dir: offline (strict,
+// Fsck semantics) or online (live-writer leniencies; see Checker).
+// readFile overrides how file images are obtained — the online
+// scrubber uses it to rate-limit and to pass bytes through the
+// scrub.read fault site — and defaults to os.ReadFile. The listing is
+// the read-only scan (no .tmp cleanup): verification never modifies
+// the directory it checks.
+func VerifyDir(dir string, online bool, readFile func(string) ([]byte, error)) (*Report, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
 	snaps, segs, err := scanDir(dir)
 	if err != nil {
 		return nil, err
@@ -73,112 +99,17 @@ func Fsck(dir string) (*Report, error) {
 	if len(snaps) == 0 && len(segs) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoStore, dir)
 	}
-
-	// Snapshots: every one on disk must validate, even superseded
-	// leftovers — a snapshot that fails its checksum is corruption
-	// whether or not recovery would pick it.
-	base := uint64(0)
-	haveBase := false
+	c := NewChecker(dir)
+	c.Online = online
 	for _, seq := range snaps {
-		name := snapName(seq)
-		rep.Checked = append(rep.Checked, name)
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			rep.problemf("%s: %v", name, err)
-			continue
-		}
-		snap, err := decodeSnapshot(data)
-		if err != nil {
-			rep.problemf("%s: %v", name, err)
-			continue
-		}
-		if snap.Seq != seq {
-			rep.problemf("%s: claims generation %d", name, snap.Seq)
-			continue
-		}
-		if !haveBase || seq > base {
-			base, haveBase = seq, true
-		}
+		data, err := readFile(filepath.Join(dir, snapName(seq)))
+		c.Snapshot(seq, data, err)
 	}
-
-	// Segments: structural frame validation plus per-segment decode
-	// (which checks dictionary referential integrity) plus the
-	// cross-segment generation discipline.
-	prevSeq := uint64(0)
-	seenAny := false
-	lastSeq := base
 	for i, start := range segs {
-		name := segName(start)
-		rep.Checked = append(rep.Checked, name)
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			rep.problemf("%s: %v", name, err)
-			continue
-		}
-		res, err := scanSegment(data)
-		if err != nil {
-			rep.problemf("%s: %v", name, err)
-			continue
-		}
-		if res.torn {
-			if i == len(segs)-1 {
-				rep.problemf("%s: truncated record (torn tail) at offset %d — recovery will drop it", name, res.validEnd)
-			} else {
-				rep.problemf("%s: truncated record at offset %d in a non-final segment", name, res.validEnd)
-			}
-		}
-		for _, r := range res.records {
-			rep.Records++
-			if r.Seq <= start {
-				rep.problemf("%s: record generation %d not past segment start %d", name, r.Seq, start)
-				continue
-			}
-			if seenAny {
-				switch {
-				case r.Seq == prevSeq+1:
-				case r.Seq <= prevSeq:
-					rep.problemf("%s: duplicated or non-monotonic generation %d after %d", name, r.Seq, prevSeq)
-				default:
-					rep.problemf("%s: generation gap: %d follows %d", name, r.Seq, prevSeq)
-				}
-			}
-			prevSeq, seenAny = r.Seq, true
-			if r.Seq > lastSeq {
-				lastSeq = r.Seq
-			}
-		}
+		data, err := readFile(filepath.Join(dir, segName(start)))
+		c.Segment(start, data, i == len(segs)-1, err)
 	}
-	rep.LastSeq = lastSeq
-
-	// Coverage: the log suffix past the best snapshot must start at
-	// exactly the next generation, or the state in between is lost.
-	if seenAny && prevSeq > base {
-		firstPast := uint64(0)
-		// Find the first record generation past the base across the
-		// ordered segments (recomputed cheaply from the walk above is
-		// not possible without storing; re-derive from segment starts).
-		for _, start := range segs {
-			data, err := os.ReadFile(filepath.Join(dir, segName(start)))
-			if err != nil {
-				continue
-			}
-			res, err := scanSegment(data)
-			if err != nil {
-				continue
-			}
-			for _, r := range res.records {
-				if r.Seq > base {
-					firstPast = r.Seq
-					break
-				}
-			}
-			if firstPast != 0 {
-				break
-			}
-		}
-		if firstPast != 0 && firstPast != base+1 {
-			rep.problemf("generation gap: best snapshot at %d, first log record past it at %d", base, firstPast)
-		}
-	}
+	rep := c.Finish()
+	rep.Online = online
 	return rep, nil
 }

@@ -1,0 +1,230 @@
+package chainsplit
+
+// The online scrubber: the offline Fsck's checks against a store a
+// live writer may still be appending to, plus the publish-after-log
+// invariant, wired into the serving layer through Config.ScrubEvery
+// (background passes + self-quarantine) and the one-shot Scrub.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chainsplit/internal/scrub"
+	"chainsplit/internal/wal"
+)
+
+// buildScrubStore writes a small durable store and returns its dir and
+// final generation.
+func buildScrubStore(t *testing.T, snapshotEvery int) (string, uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := OpenWith(Config{Dir: dir, SnapshotEvery: snapshotEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Exec(fmt.Sprintf("n(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := db.Generation()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, gen
+}
+
+func TestScrubPassCleanStore(t *testing.T) {
+	dir, gen := buildScrubStore(t, -1)
+	s := scrub.New(scrub.Config{Dir: dir, Published: func() uint64 { return gen }})
+	rep, err := s.Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean store failed scrub:\n%s", rep.String())
+	}
+	if rep.Records == 0 || rep.LastSeq != gen {
+		t.Fatalf("pass saw %d records, last generation %d (want %d)", rep.Records, rep.LastSeq, gen)
+	}
+	if s.LastReport() != rep {
+		t.Fatal("LastReport does not return the latest pass")
+	}
+	if scrub.Corruption(rep) != nil {
+		t.Fatal("Corruption of a clean report is non-nil")
+	}
+}
+
+func TestScrubPassDetectsFlippedFrame(t *testing.T) {
+	dir, _ := buildScrubStore(t, -1)
+	seg := onlyMatch(t, dir, "wal-*.log")
+	offsets, _, err := wal.RecordOffsets(seg)
+	if err != nil || len(offsets) < 2 {
+		t.Fatalf("RecordOffsets: %v %v", offsets, err)
+	}
+	flipFileByte(t, seg, offsets[0]+12)
+
+	var reported *wal.Report
+	s := scrub.New(scrub.Config{Dir: dir, OnCorrupt: func(rep *wal.Report) { reported = rep }})
+	rep, err := s.Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("flipped frame passed the scrub")
+	}
+	if reported != rep {
+		t.Fatal("OnCorrupt did not receive the failed report")
+	}
+	if cerr := scrub.Corruption(rep); !errors.Is(cerr, ErrCorrupt) {
+		t.Fatalf("Corruption() outside the taxonomy: %v", cerr)
+	}
+}
+
+func TestScrubEmptyDirIsCleanNoop(t *testing.T) {
+	// A background scrubber may start before the first write lands; an
+	// empty (or missing) directory is "nothing to verify yet".
+	for _, dir := range []string{t.TempDir(), filepath.Join(t.TempDir(), "never-created")} {
+		rep, err := scrub.New(scrub.Config{Dir: dir}).Pass()
+		if err != nil || !rep.OK() {
+			t.Fatalf("empty dir %s: err=%v report:\n%s", dir, err, rep.String())
+		}
+	}
+	// The one-shot Scrub, by contrast, is a usage check like Fsck: a
+	// store that does not exist is ErrNoStore, not "clean".
+	if _, _, err := Scrub(t.TempDir()); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("one-shot Scrub of an empty dir: %v, want ErrNoStore", err)
+	}
+}
+
+func TestScrubPublishedAheadOfDurableIsCorruption(t *testing.T) {
+	dir, gen := buildScrubStore(t, -1)
+	s := scrub.New(scrub.Config{Dir: dir, Published: func() uint64 { return gen + 3 }})
+	rep, err := s.Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("pass accepted durable state at %d behind published generation %d", rep.LastSeq, gen+3)
+	}
+}
+
+func TestScrubOnlineToleratesInFlightAppend(t *testing.T) {
+	dir, _ := buildScrubStore(t, -1)
+	// Simulate an append torn mid-write: a frame header claiming more
+	// bytes than follow. The online pass must read it as "not yet"; the
+	// strict offline Fsck must flag the same bytes.
+	seg := onlyMatch(t, dir, "wal-*.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 1, 0, 0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rep, err := scrub.New(scrub.Config{Dir: dir}).Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("online pass flagged an in-flight append:\n%s", rep.String())
+	}
+	if report, ok, err := Fsck(dir); err != nil || ok {
+		t.Fatalf("offline fsck excused a torn tail: ok=%v err=%v\n%s", ok, err, report)
+	}
+}
+
+func TestScrubBackgroundPassesRun(t *testing.T) {
+	dir, _ := buildScrubStore(t, -1)
+	s := scrub.New(scrub.Config{Dir: dir, Every: time.Millisecond})
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.LastReport() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never completed a pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop() // idempotent with the deferred Stop
+}
+
+func TestOneShotScrub(t *testing.T) {
+	dir, _ := buildScrubStore(t, -1)
+	report, ok, err := Scrub(dir)
+	if err != nil || !ok {
+		t.Fatalf("clean store: ok=%v err=%v\n%s", ok, err, report)
+	}
+	seg := onlyMatch(t, dir, "wal-*.log")
+	offsets, _, err := wal.RecordOffsets(seg)
+	if err != nil || len(offsets) < 2 {
+		t.Fatalf("RecordOffsets: %v %v", offsets, err)
+	}
+	flipFileByte(t, seg, offsets[0]+12)
+	report, ok, err = Scrub(dir)
+	if err != nil || ok {
+		t.Fatalf("corrupt store: ok=%v err=%v", ok, err)
+	}
+	if report == "" {
+		t.Fatal("corrupt store produced an empty report")
+	}
+}
+
+// TestScrubEveryQuarantinesStandalone is the serving-layer wiring end
+// to end on a standalone database: Config.ScrubEvery detects on-disk
+// corruption under a live database and quarantines it — reads shed
+// with ErrQuarantined instead of serving from a store that can no
+// longer be vouched for. Standalone there is no leader to reseed from,
+// so quarantine is terminal until reopen.
+func TestScrubEveryQuarantinesStandalone(t *testing.T) {
+	checkLeaks := leakGuard(t)
+	dir := t.TempDir()
+	db, err := OpenWith(Config{Dir: dir, SnapshotEvery: -1, ScrubEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 4; i++ {
+		if err := db.Exec(fmt.Sprintf("n(%d).", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query("?- n(X)."); err != nil {
+		t.Fatalf("pre-corruption read: %v", err)
+	}
+
+	seg := onlyMatch(t, dir, "wal-*.log")
+	offsets, _, err := wal.RecordOffsets(seg)
+	if err != nil || len(offsets) < 2 {
+		t.Fatalf("RecordOffsets: %v %v", offsets, err)
+	}
+	flipFileByte(t, seg, offsets[0]+12)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := db.Query("?- n(X).")
+		if errors.Is(err, ErrQuarantined) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read failed outside the taxonomy: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrubber never quarantined the corrupted store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if report, ok := db.ScrubReport(); ok || report == "" {
+		t.Fatalf("ScrubReport after quarantine: ok=%v report=%q", ok, report)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkLeaks()
+}
